@@ -1,0 +1,88 @@
+"""Ablation — registration limit (paths per RAC, origin AS and interface group).
+
+The paper fixes the per-RAC registration limit at 20 paths (§VIII-B), which
+bounds both the path service's memory and the theoretical maximum TLF.
+This ablation sweeps the limit and reports how the number of registered
+paths and the achievable disjointness react, confirming that the limit is
+the binding constraint for disjointness-oriented algorithms but not for
+1SP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.disjointness_eval import evaluate_disjointness
+from repro.analysis.reporting import format_table
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import (
+    ScenarioConfig,
+    five_shortest_paths_spec,
+    heuristic_disjointness_spec,
+    one_shortest_path_spec,
+)
+from repro.topology.generator import generate_topology
+
+from conftest import bench_topology_config, simulation_periods
+
+LIMITS = (1, 5, 20)
+
+
+def _scenario(limit: int, periods: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        algorithms=(
+            one_shortest_path_spec(registration_limit=limit),
+            five_shortest_paths_spec(registration_limit=limit),
+            heuristic_disjointness_spec(registration_limit=limit),
+        ),
+        periods=periods,
+        verify_signatures=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    periods = simulation_periods()
+    config = bench_topology_config()
+    results = {}
+    for limit in LIMITS:
+        results[limit] = BeaconingSimulation(
+            generate_topology(config), _scenario(limit, periods)
+        ).run()
+    return results
+
+
+def test_ablation_registration_limit_report(sweep_results, capsys):
+    """Print registered-path counts and TLF as the limit grows."""
+    rows = []
+    tlf_by_limit = {}
+    for limit, result in sweep_results.items():
+        as_ids = result.topology.as_ids()
+        probe = as_ids[-1]
+        registered = len(result.service(probe).path_service.all_paths())
+        pairs = [(as_ids[-1], as_ids[0]), (as_ids[-2], as_ids[1])]
+        evaluation = evaluate_disjointness(result, tags=["hd"], as_pairs=pairs)
+        tlf = sum(evaluation.tlf["hd"])
+        tlf_by_limit[limit] = tlf
+        rows.append([limit, registered, tlf])
+    with capsys.disabled():
+        print("\nAblation — registration limit vs. registered paths and HD disjointness")
+        print(format_table(["limit", "registered paths @ probe AS", "sum TLF (HD)"], rows))
+
+    # A larger limit can only help: registered paths and TLF are monotone.
+    registered_counts = [row[1] for row in rows]
+    assert registered_counts == sorted(registered_counts)
+    assert tlf_by_limit[20] >= tlf_by_limit[1]
+
+
+def test_ablation_limit_benchmark(benchmark):
+    """Benchmark the limit-20 configuration (the paper's setting)."""
+    config = bench_topology_config()
+
+    def run():
+        return BeaconingSimulation(
+            generate_topology(config), _scenario(20, periods=2)
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.collector.total_sent > 0

@@ -1,0 +1,104 @@
+"""Figure 8a — CDF of minimum PoP-pair propagation delay relative to 1SP.
+
+The paper simulates 1SP, 5SP, DON, DOB2000 and DOB300 on the 500-AS CAIDA
+topology and reports the distribution of the minimum achievable propagation
+delay between PoP pairs, normalised by 1SP.  The qualitative result: every
+multi-path / delay-aware algorithm beats 1SP for most PoP pairs, the DO
+variants beat 5SP, and DOB (interface groups + extended paths) beats DON,
+with the finer 300 km grouping best of all.
+
+This module runs the same algorithm configurations on the benchmark
+topology, prints the per-algorithm quantiles of the relative-delay CDF and
+checks the ordering of the medians.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.delay_eval import evaluate_delay
+from repro.analysis.reporting import format_cdf_table
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import dob_scenario, don_scenario
+from repro.topology.generator import generate_topology
+
+from conftest import bench_topology_config, simulation_periods
+
+
+def _evaluation_pairs(topology, limit=40):
+    """A deterministic sample of (source, destination) AS pairs."""
+    as_ids = topology.as_ids()
+    pairs = []
+    for offset, source in enumerate(as_ids):
+        destination = as_ids[(offset * 7 + 3) % len(as_ids)]
+        if source != destination:
+            pairs.append((source, destination))
+        if len(pairs) >= limit:
+            break
+    return pairs
+
+
+def _run_delay_experiment():
+    periods = simulation_periods()
+    config = bench_topology_config()
+
+    don_result = BeaconingSimulation(
+        generate_topology(config), don_scenario(periods=periods)
+    ).run()
+    dob300_result = BeaconingSimulation(
+        generate_topology(config), dob_scenario(radius_km=300.0, periods=periods)
+    ).run()
+    dob2000_result = BeaconingSimulation(
+        generate_topology(config), dob_scenario(radius_km=2000.0, periods=periods)
+    ).run()
+
+    pairs = _evaluation_pairs(don_result.topology)
+    don_eval = evaluate_delay(don_result, tags=["5sp", "don"], baseline_tag="1sp", as_pairs=pairs)
+    dob300_eval = evaluate_delay(dob300_result, tags=["dob300"], baseline_tag="1sp", as_pairs=pairs)
+    dob2000_eval = evaluate_delay(
+        dob2000_result, tags=["dob2000"], baseline_tag="1sp", as_pairs=pairs
+    )
+    return don_eval, dob300_eval, dob2000_eval
+
+
+@pytest.fixture(scope="module")
+def delay_evaluations():
+    return _run_delay_experiment()
+
+
+def test_figure8a_report(delay_evaluations, capsys):
+    """Print the relative-delay CDF quantiles for every algorithm."""
+    don_eval, dob300_eval, dob2000_eval = delay_evaluations
+    cdfs = {
+        "5SP / 1SP": don_eval.cdf_relative_to_baseline("5sp"),
+        "DON / 1SP": don_eval.cdf_relative_to_baseline("don"),
+        "DOB300 / 1SP": dob300_eval.cdf_relative_to_baseline("dob300"),
+        "DOB2000 / 1SP": dob2000_eval.cdf_relative_to_baseline("dob2000"),
+    }
+    with capsys.disabled():
+        print("\nFigure 8a — PoP-pair delay relative to 1SP (CDF quantiles)")
+        print(format_cdf_table(cdfs))
+
+    # Shape checks: every algorithm is at least as good as 1SP at the median,
+    # and the delay-aware algorithms beat the hop-count-based 5SP.
+    median_5sp = don_eval.median_ratio("5sp")
+    median_don = don_eval.median_ratio("don")
+    median_dob300 = dob300_eval.median_ratio("dob300")
+    median_dob2000 = dob2000_eval.median_ratio("dob2000")
+    assert median_5sp is not None and median_5sp <= 1.0 + 1e-9
+    assert median_don is not None and median_don <= median_5sp + 1e-9
+    assert median_dob300 is not None and median_dob300 <= median_don + 0.05
+    assert median_dob2000 is not None and median_dob2000 <= 1.0 + 1e-9
+
+
+def test_delay_simulation_benchmark(benchmark):
+    """Benchmark one DON simulation run at the configured scale."""
+    config = bench_topology_config()
+
+    def run():
+        return BeaconingSimulation(
+            generate_topology(config), don_scenario(periods=2)
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.collector.total_sent > 0

@@ -1,0 +1,97 @@
+"""Figure 8c — CDF of PCBs sent per interface per beaconing period.
+
+The paper reports the message-complexity distribution of every algorithm
+configuration: the uniform-propagation algorithms (1SP, 5SP, DON, DOB2000,
+DOB300) share a similar pattern with 5SP highest and 1SP lowest, the DOB
+variants grow with the number of interface groups, and HD/PD show markedly
+lower overhead in most periods because previously-propagated beacons are
+not resent.
+
+This module runs all configurations, prints the per-configuration CDF
+quantiles and totals, and checks those orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead_eval import evaluate_overhead
+from repro.analysis.reporting import format_cdf_table, format_table
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import (
+    AlgorithmSpec,
+    ScenarioConfig,
+    disjointness_scenario,
+    dob_scenario,
+    don_scenario,
+    five_shortest_paths_spec,
+    heuristic_disjointness_spec,
+    one_shortest_path_spec,
+)
+from repro.topology.generator import generate_topology
+
+from conftest import bench_topology_config, simulation_periods
+
+
+def _single_algorithm_scenario(spec: AlgorithmSpec, periods: int) -> ScenarioConfig:
+    return ScenarioConfig(algorithms=(spec,), periods=periods, verify_signatures=False)
+
+
+@pytest.fixture(scope="module")
+def overhead_evaluation():
+    """Run one simulation per configuration and collect overhead samples."""
+    periods = simulation_periods()
+    config = bench_topology_config()
+
+    def run(scenario):
+        return BeaconingSimulation(generate_topology(config), scenario).run()
+
+    results = [
+        ("1sp", run(_single_algorithm_scenario(one_shortest_path_spec(), periods))),
+        ("5sp", run(_single_algorithm_scenario(five_shortest_paths_spec(), periods))),
+        ("hd", run(_single_algorithm_scenario(heuristic_disjointness_spec(), periods))),
+        ("don", run(don_scenario(periods=periods))),
+        ("dob2000", run(dob_scenario(radius_km=2000.0, periods=periods))),
+        ("dob300", run(dob_scenario(radius_km=300.0, periods=periods))),
+        ("full-suite", run(disjointness_scenario(periods=periods))),
+    ]
+    return evaluate_overhead(results)
+
+
+def test_figure8c_report(overhead_evaluation, capsys):
+    """Print the PCBs-per-interface-per-period CDFs and totals."""
+    labels = overhead_evaluation.labels()
+    cdfs = {label: overhead_evaluation.cdf(label) for label in labels}
+    totals = [
+        [label, overhead_evaluation.total(label), overhead_evaluation.mean_per_interface_period(label)]
+        for label in labels
+    ]
+    with capsys.disabled():
+        print("\nFigure 8c — PCBs per interface per period (CDF quantiles)")
+        print(format_cdf_table(cdfs))
+        print()
+        print(format_table(["configuration", "total PCBs", "mean per interface-period"], totals))
+
+    # Shape checks mirroring §VIII-C.
+    # (i) 5SP sends more than 1SP (it propagates five paths per origin).
+    assert overhead_evaluation.total("5sp") > overhead_evaluation.total("1sp")
+    # (ii) HD's total overhead stays below 5SP's uniform propagation.
+    assert overhead_evaluation.total("hd") < overhead_evaluation.total("5sp")
+    # (iii) finer interface groups increase overhead: DOB300 >= DOB2000 >= DON-scenario.
+    assert overhead_evaluation.total("dob300") >= overhead_evaluation.total("dob2000")
+    # (iv) the DON bundle (1SP+5SP+DON) naturally exceeds single-algorithm 1SP.
+    assert overhead_evaluation.total("don") > overhead_evaluation.total("1sp")
+
+
+def test_overhead_simulation_benchmark(benchmark):
+    """Benchmark the single-RAC 1SP simulation (the lightest configuration)."""
+    config = bench_topology_config()
+
+    def run():
+        return BeaconingSimulation(
+            generate_topology(config),
+            _single_algorithm_scenario(one_shortest_path_spec(), periods=2),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.collector.total_sent > 0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Pull-based disjointness (PD): collecting link-disjoint paths to a target.
+
+Fault-tolerant applications (multipath transports, critical infrastructure
+monitoring) want many link-disjoint paths so that link failures cannot cut
+them off.  The paper's PD procedure combines three IREC mechanisms:
+
+* the HD static RAC seeds an initial path set,
+* **pull-based routing** lets the source request paths *towards* a specific
+  target AS, and
+* **on-demand routing** ships, at every iteration, a fresh link-avoiding
+  algorithm whose avoid set is every link already collected.
+
+This example runs PD between two stub ASes of a generated topology and
+reports the tolerable-link-failure (TLF) improvement over the shortest-path
+baselines.
+
+Run it with::
+
+    python examples/disjoint_paths.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.disjointness_eval import evaluate_disjointness
+from repro.analysis.reporting import format_table
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import disjointness_scenario
+from repro.topology.generator import TopologyConfig, generate_topology
+
+DESIRED_DISJOINT_PATHS = 4
+
+
+def main() -> None:
+    topology = generate_topology(
+        TopologyConfig(num_ases=24, num_core=4, num_transit=8, seed=5)
+    )
+    as_ids = topology.as_ids()
+    source_as, target_as = as_ids[-1], as_ids[0]
+
+    scenario = disjointness_scenario(periods=3, verify_signatures=False)
+    simulation = BeaconingSimulation(topology, scenario)
+    orchestrator = simulation.add_pull_disjointness(
+        origin_as=source_as, target_as=target_as, desired_paths=DESIRED_DISJOINT_PATHS
+    )
+    # One PD iteration completes per beaconing period, so allow extra periods.
+    result = simulation.run(periods=scenario.periods + DESIRED_DISJOINT_PATHS)
+
+    print(
+        f"PD at AS {source_as} towards AS {target_as}: "
+        f"{orchestrator.disjoint_path_count()} link-disjoint paths collected "
+        f"in {len(orchestrator.iterations)} iterations (state: {orchestrator.state.value})\n"
+    )
+    rows = [
+        [index, " -> ".join(str(a) for a in beacon.as_path()), f"{beacon.total_latency_ms():.1f}"]
+        for index, beacon in enumerate(orchestrator.collected)
+    ]
+    print(format_table(["#", "AS path", "latency (ms)"], rows))
+
+    evaluation = evaluate_disjointness(
+        result,
+        tags=["1sp", "5sp", "hd", "pd"],
+        as_pairs=[(source_as, target_as)],
+        extra_paths={(source_as, target_as): {"pd": list(orchestrator.collected)}},
+    )
+    tlf_rows = [
+        [tag.upper(), evaluation.tlf[tag][0]] for tag in ("1sp", "5sp", "hd", "pd")
+    ]
+    print("\nTolerable link failures between the AS pair, per algorithm:")
+    print(format_table(["algorithm", "TLF"], tlf_rows))
+    print(
+        "\nPD tops the static algorithms because every iteration explicitly avoids "
+        "all links already in the collected set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""The paper's Figure-1 scenario: three applications, three optimal paths.
+
+A source AS hosts three applications with different communication-quality
+criteria:
+
+* a VoIP client that wants the lowest latency,
+* a file-transfer application that wants the highest bandwidth, and
+* a live-video application that wants the highest bandwidth among paths
+  with latency at most 30 ms.
+
+BGP-style single-path routing can only serve the first one.  This example
+builds the Figure-1 topology, deploys three parallel RACs (shortest path,
+widest path, latency-bounded widest path) and shows that each application
+obtains its own optimal path from the same control plane — and that the
+paths actually forward packets with the predicted latency.
+
+Run it with::
+
+    python examples/multi_criteria_paths.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bandwidth import LatencyBoundedWidestAlgorithm, WidestPathAlgorithm
+from repro.analysis.reporting import format_table
+from repro.core.criteria import lowest_latency, shortest_widest, widest_with_latency_bound
+from repro.dataplane.endhost import EndHost, PathSelectionPreference
+from repro.dataplane.network import DataPlaneNetwork
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import AlgorithmSpec, ScenarioConfig, one_shortest_path_spec
+from repro.topology.entities import ASInfo, Interface, Link, Relationship
+from repro.topology.geo import GeoCoordinate
+from repro.topology.graph import Topology
+
+SOURCE_AS = 1
+DESTINATION_AS = 3
+
+
+def build_figure1_topology() -> Topology:
+    """Six ASes giving the source three distinct paths to the destination.
+
+    * 1-2-3: 20 ms, 100 Mbit/s   (lowest latency),
+    * 1-4-5-6-3: 40 ms, 10 Gbit/s (highest bandwidth),
+    * 1-4-5-3: 30 ms, 1 Gbit/s    (highest bandwidth within 30 ms).
+    """
+    coordinates = {
+        1: (47.0, 8.0),
+        2: (48.0, 9.0),
+        3: (49.0, 10.0),
+        4: (46.0, 8.0),
+        5: (45.0, 9.0),
+        6: (44.0, 10.0),
+    }
+    interface_counts = {1: 2, 2: 2, 3: 3, 4: 2, 5: 3, 6: 2}
+    topology = Topology()
+    for as_id, count in interface_counts.items():
+        info = ASInfo(as_id=as_id, name=f"as-{as_id}")
+        lat, lon = coordinates[as_id]
+        for interface_id in range(1, count + 1):
+            info.add_interface(
+                Interface(
+                    as_id=as_id,
+                    interface_id=interface_id,
+                    location=GeoCoordinate(lat, lon + interface_id * 0.01),
+                )
+            )
+        topology.add_as(info)
+
+    def link(a, b, latency, bandwidth):
+        topology.add_link(
+            Link(
+                interface_a=a,
+                interface_b=b,
+                latency_ms=latency,
+                bandwidth_mbps=bandwidth,
+                relationship=Relationship.PEER,
+            )
+        )
+
+    link((1, 1), (2, 1), 10.0, 100.0)
+    link((2, 2), (3, 1), 10.0, 100.0)
+    link((1, 2), (4, 1), 10.0, 10_000.0)
+    link((4, 2), (5, 1), 10.0, 10_000.0)
+    link((5, 2), (6, 1), 10.0, 10_000.0)
+    link((6, 2), (3, 2), 10.0, 10_000.0)
+    link((5, 3), (3, 3), 10.0, 1_000.0)
+    return topology
+
+
+def main() -> None:
+    topology = build_figure1_topology()
+    scenario = ScenarioConfig(
+        algorithms=(
+            one_shortest_path_spec(),
+            AlgorithmSpec(
+                rac_id="widest",
+                factory=lambda: WidestPathAlgorithm(paths_per_interface=2),
+                use_interface_groups=False,
+            ),
+            AlgorithmSpec(
+                rac_id="live-video",
+                factory=lambda: LatencyBoundedWidestAlgorithm(
+                    latency_bound_ms=30.5, paths_per_interface=2
+                ),
+                use_interface_groups=False,
+            ),
+        ),
+        periods=5,
+        verify_signatures=True,
+    )
+    result = BeaconingSimulation(topology, scenario).run()
+
+    host = EndHost(
+        host_id="apps",
+        as_id=SOURCE_AS,
+        path_service=result.service(SOURCE_AS).path_service,
+    )
+    applications = [
+        ("VoIP (lowest latency)", PathSelectionPreference(lowest_latency())),
+        ("File transfer (shortest-widest)", PathSelectionPreference(shortest_widest())),
+        (
+            "Live video (widest with latency <= 30.5 ms)",
+            PathSelectionPreference(widest_with_latency_bound(30.5)),
+        ),
+    ]
+
+    network = DataPlaneNetwork(topology=topology)
+    rows = []
+    for label, preference in applications:
+        selected = host.select_paths(DESTINATION_AS, preference, limit=1)
+        if not selected:
+            rows.append([label, "-", "-", "-", "-"])
+            continue
+        segment = selected[0].segment
+        packet = host.build_packet(DESTINATION_AS, preference)
+        report = network.deliver(packet)
+        rows.append(
+            [
+                label,
+                " -> ".join(str(a) for a in segment.as_path()),
+                f"{segment.total_latency_ms():.1f}",
+                f"{segment.bottleneck_bandwidth_mbps():.0f}",
+                f"{report.latency_ms:.1f}" if report.delivered else "FAILED",
+            ]
+        )
+
+    print("Figure-1 scenario: per-application optimal paths from AS 1 to AS 3\n")
+    print(
+        format_table(
+            ["application", "AS path", "predicted latency (ms)", "bandwidth (Mbit/s)", "measured latency (ms)"],
+            rows,
+        )
+    )
+    print(
+        "\nEach application receives a different path from the same control plane,"
+        "\nwhich single-criterion routing cannot provide."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""On-demand + pull-based routing: a source AS ships its own criterion.
+
+The live-video provider of the paper's motivation wants paths optimized for
+a criterion nobody standardized: "highest bandwidth among paths within a
+latency bound".  With IREC it does not have to wait for a standards body or
+router vendors — it:
+
+1. publishes the algorithm (here: a declarative criteria set, and, as a
+   second flavour, a restricted-Python scoring expression) in its own
+   algorithm repository,
+2. originates **pull-based, on-demand** PCBs that name the target AS and
+   reference the algorithm by id and hash, and
+3. receives back, from the target, the paths that every on-path AS
+   optimized by executing exactly that algorithm inside a sandboxed
+   on-demand RAC.
+
+Run it with::
+
+    python examples/on_demand_routing.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import (
+    encode_criteria_payload,
+    encode_restricted_python_payload,
+)
+from repro.analysis.reporting import format_table
+from repro.core.criteria import widest_with_latency_bound
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import AlgorithmSpec, ScenarioConfig, one_shortest_path_spec
+from repro.topology.generator import TopologyConfig, generate_topology
+
+SOURCE_AS = 20          # a stub AS acting as the video provider's domain
+TARGET_AS = 1           # a core AS hosting the video origin
+
+
+def main() -> None:
+    topology = generate_topology(
+        TopologyConfig(num_ases=20, num_core=3, num_transit=6, seed=11)
+    )
+    # Every AS deploys the stable shortest-path RAC plus one on-demand RAC.
+    scenario = ScenarioConfig(
+        algorithms=(
+            one_shortest_path_spec(),
+            AlgorithmSpec(rac_id="on-demand", on_demand=True),
+        ),
+        periods=6,
+        verify_signatures=True,
+    )
+    simulation = BeaconingSimulation(topology, scenario)
+    source = simulation.services[SOURCE_AS]
+
+    # Flavour 1: a declarative criteria set (widest path within 60 ms).
+    declarative = encode_criteria_payload(
+        widest_with_latency_bound(60.0), paths_per_interface=2
+    )
+    source.publish_algorithm("live-video-60ms", declarative)
+
+    # Flavour 2: the same intent written as a restricted-Python payload —
+    # the reproduction's analogue of shipping WebAssembly bytecode.
+    scripted = encode_restricted_python_payload(
+        "(0 - bandwidth_mbps) if latency_ms <= 60 else inf", paths_per_interface=2
+    )
+    source.publish_algorithm("live-video-scripted", scripted)
+
+    # Originate pull-based + on-demand PCBs towards the target for both.
+    source.originate_pull(target_as=TARGET_AS, now_ms=0.0, algorithm_id="live-video-60ms")
+    source.originate_pull(target_as=TARGET_AS, now_ms=0.0, algorithm_id="live-video-scripted")
+
+    result = simulation.run()
+
+    rows = []
+    for algorithm_id in ("live-video-60ms", "live-video-scripted"):
+        returned = source.pull_results_for(algorithm_id)
+        for beacon, received_at in returned[:3]:
+            rows.append(
+                [
+                    algorithm_id,
+                    " -> ".join(str(a) for a in beacon.as_path()),
+                    f"{beacon.total_latency_ms():.1f}",
+                    f"{beacon.bottleneck_bandwidth_mbps():.0f}",
+                    f"{received_at / 1000.0:.1f}",
+                ]
+            )
+
+    print(
+        f"Pull-based, on-demand paths returned to AS {SOURCE_AS} "
+        f"for target AS {TARGET_AS}:\n"
+    )
+    if rows:
+        print(
+            format_table(
+                ["algorithm", "AS path (source -> target)", "latency (ms)", "bandwidth (Mbit/s)", "returned at (s)"],
+                rows,
+            )
+        )
+    else:
+        print("no paths returned — increase the number of simulated periods")
+
+    fetches = result.collector.algorithm_fetches()
+    print(
+        f"\nOn-path ASes fetched the algorithm payloads {fetches} times in total; "
+        "thanks to per-(origin, algorithm) caching each AS fetched each payload at most once."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Bandwidth-oriented algorithms (widest, shortest-widest, bounded-latency widest).
+
+These algorithms back the motivating examples of the paper: the
+file-transfer application that needs the highest-bandwidth path (Figure 1),
+the shortest-widest criterion communicated via on-demand routing
+(Figure 2c), and the live-video application that wants the widest path
+within a latency bound (Figure 1, example #2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.algorithms.base import (
+    CandidateBeacon,
+    ExecutionContext,
+    ExecutionResult,
+    RoutingAlgorithm,
+    select_per_interface,
+)
+from repro.exceptions import AlgorithmError
+
+
+@dataclass
+class WidestPathAlgorithm(RoutingAlgorithm):
+    """Select the beacons with the highest bottleneck bandwidth."""
+
+    paths_per_interface: int = 1
+    name: str = "widest"
+
+    def __post_init__(self) -> None:
+        if self.paths_per_interface < 1:
+            raise AlgorithmError(
+                f"paths_per_interface must be at least 1, got {self.paths_per_interface}"
+            )
+
+    def execute(self, context: ExecutionContext) -> ExecutionResult:
+        """Return the widest beacons for every egress interface."""
+        bounded = _bound(context, self.paths_per_interface)
+        return select_per_interface(bounded, self._score)
+
+    @staticmethod
+    def _score(
+        candidate: CandidateBeacon, _egress_interface: int, _context: ExecutionContext
+    ) -> Tuple[float]:
+        return (-candidate.beacon.bottleneck_bandwidth_mbps(),)
+
+    def describe(self) -> str:
+        return f"highest bottleneck bandwidth, {self.paths_per_interface} per interface"
+
+
+@dataclass
+class ShortestWidestAlgorithm(RoutingAlgorithm):
+    """Shortest-widest selection: maximize bandwidth, break ties by latency.
+
+    This is the algorithm the paper's Figure 2c shows an origin AS
+    communicating to other ASes through on-demand routing: "the
+    lowest-latency path among the highest-bandwidth ones".
+    """
+
+    paths_per_interface: int = 1
+    name: str = "shortest-widest"
+
+    def __post_init__(self) -> None:
+        if self.paths_per_interface < 1:
+            raise AlgorithmError(
+                f"paths_per_interface must be at least 1, got {self.paths_per_interface}"
+            )
+
+    def execute(self, context: ExecutionContext) -> ExecutionResult:
+        """Return the shortest-widest beacons for every egress interface."""
+        bounded = _bound(context, self.paths_per_interface)
+        return select_per_interface(bounded, self._score)
+
+    @staticmethod
+    def _score(
+        candidate: CandidateBeacon, _egress_interface: int, _context: ExecutionContext
+    ) -> Tuple[float, float]:
+        beacon = candidate.beacon
+        return (-beacon.bottleneck_bandwidth_mbps(), beacon.total_latency_ms())
+
+    def describe(self) -> str:
+        return f"shortest-widest, {self.paths_per_interface} per interface"
+
+
+@dataclass
+class LatencyBoundedWidestAlgorithm(RoutingAlgorithm):
+    """Widest path among the paths whose latency stays within a bound.
+
+    Attributes:
+        latency_bound_ms: Hard upper bound on accumulated path latency;
+            beacons exceeding it are not eligible for selection.
+        paths_per_interface: Number of beacons selected per egress interface.
+        use_extended_paths: Whether the bound (and the tie-breaking latency)
+            is checked on the extended path including the intra-AS latency
+            to the candidate egress interface.
+    """
+
+    latency_bound_ms: float = 30.0
+    paths_per_interface: int = 1
+    use_extended_paths: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency_bound_ms <= 0:
+            raise AlgorithmError(f"latency bound must be positive, got {self.latency_bound_ms}")
+        if self.paths_per_interface < 1:
+            raise AlgorithmError(
+                f"paths_per_interface must be at least 1, got {self.paths_per_interface}"
+            )
+        self.name = f"widest-latency<={self.latency_bound_ms:g}ms"
+
+    def execute(self, context: ExecutionContext) -> ExecutionResult:
+        """Return the widest within-bound beacons for every egress interface."""
+        bounded = _bound(context, self.paths_per_interface)
+        return select_per_interface(bounded, self._score, admit=self._admit)
+
+    def _latency(
+        self, candidate: CandidateBeacon, egress_interface: int, context: ExecutionContext
+    ) -> float:
+        latency = candidate.beacon.total_latency_ms()
+        if self.use_extended_paths and candidate.ingress_interface is not None:
+            latency += context.intra_latency_ms(candidate.ingress_interface, egress_interface)
+        return latency
+
+    def _admit(
+        self, candidate: CandidateBeacon, egress_interface: int, context: ExecutionContext
+    ) -> bool:
+        return self._latency(candidate, egress_interface, context) <= self.latency_bound_ms
+
+    def _score(
+        self, candidate: CandidateBeacon, egress_interface: int, context: ExecutionContext
+    ) -> Tuple[float, float]:
+        return (
+            -candidate.beacon.bottleneck_bandwidth_mbps(),
+            self._latency(candidate, egress_interface, context),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"widest path with latency <= {self.latency_bound_ms:g} ms, "
+            f"{self.paths_per_interface} per interface"
+        )
+
+
+def _bound(context: ExecutionContext, paths_per_interface: int) -> ExecutionContext:
+    """Return a copy of ``context`` with the per-interface limit tightened."""
+    return ExecutionContext(
+        local_as=context.local_as,
+        candidates=context.candidates,
+        egress_interfaces=context.egress_interfaces,
+        max_paths_per_interface=min(paths_per_interface, context.max_paths_per_interface),
+        intra_latency_ms=context.intra_latency_ms,
+        parameters=context.parameters,
+    )

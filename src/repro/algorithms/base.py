@@ -1,0 +1,171 @@
+"""The standardized RAC ↔ algorithm interface.
+
+The paper's §VI places this interface in the *stable* standardization tier:
+it must be fixed once so that new algorithms can be written, shipped inside
+PCBs and executed by any AS without coordination.  The interface consists
+of three pieces:
+
+* :class:`ExecutionContext` — what a RAC hands to an algorithm: the
+  candidate beacons of one (origin AS, interface group, target) bucket,
+  each paired with the ingress interface it was received on; the egress
+  interfaces to optimize for; the per-interface path limit; and a callback
+  exposing intra-AS topology information (interface-pair latencies),
+* :class:`ExecutionResult` — what the algorithm returns: for every egress
+  interface, the ordered list of optimal beacons (at most the limit), and
+* :class:`RoutingAlgorithm` — the abstract algorithm itself.
+
+The module also provides :func:`select_per_interface`, the selection
+skeleton most concrete algorithms share.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.beacon import Beacon
+from repro.exceptions import AlgorithmError
+
+#: Intra-AS latency oracle: maps (interface_a, interface_b) to milliseconds.
+IntraLatencyOracle = Callable[[int, int], float]
+
+
+@dataclass(frozen=True)
+class CandidateBeacon:
+    """A beacon as presented to an algorithm.
+
+    Attributes:
+        beacon: The received beacon.
+        ingress_interface: Local interface the beacon was received on, or
+            ``None`` if the local AS originated it (only relevant for the
+            origination path, which algorithms normally never see).
+    """
+
+    beacon: Beacon
+    ingress_interface: Optional[int]
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything an algorithm may use for one execution.
+
+    The candidates all share the same origin AS and, when present, the same
+    interface group and target AS — the RAC buckets them before invoking
+    the algorithm (paper §V-C: "The PCBs provided as input are specific for
+    an origin AS, as well as interface group and target AS").
+
+    Attributes:
+        local_as: The AS executing the algorithm.
+        candidates: Candidate beacons of one bucket.
+        egress_interfaces: Local interfaces to compute optimal sets for.
+        max_paths_per_interface: Upper bound on selected beacons per egress
+            interface (configured per RAC and interface, §V-C).
+        intra_latency_ms: Intra-AS latency oracle between local interfaces.
+        parameters: Free-form algorithm parameters (used by on-demand
+            payloads, e.g. the link-avoid set of the PD algorithm).
+    """
+
+    local_as: int
+    candidates: Tuple[CandidateBeacon, ...]
+    egress_interfaces: Tuple[int, ...]
+    max_paths_per_interface: int
+    intra_latency_ms: IntraLatencyOracle
+    parameters: Mapping[str, object] = field(default_factory=dict)
+
+    def candidates_for_origin(self, origin_as: int) -> Tuple[CandidateBeacon, ...]:
+        """Return the candidates originated by ``origin_as``."""
+        return tuple(c for c in self.candidates if c.beacon.origin_as == origin_as)
+
+    def origins(self) -> Tuple[int, ...]:
+        """Return the distinct origin ASes among the candidates, sorted."""
+        return tuple(sorted({c.beacon.origin_as for c in self.candidates}))
+
+
+@dataclass
+class ExecutionResult:
+    """The per-egress-interface optimal beacon sets returned by an algorithm."""
+
+    selections: Dict[int, List[Beacon]] = field(default_factory=dict)
+
+    def add(self, egress_interface: int, beacon: Beacon) -> None:
+        """Append ``beacon`` to the selection of ``egress_interface``."""
+        self.selections.setdefault(egress_interface, []).append(beacon)
+
+    def beacons_for(self, egress_interface: int) -> List[Beacon]:
+        """Return the selection for one egress interface (may be empty)."""
+        return list(self.selections.get(egress_interface, ()))
+
+    def total_selected(self) -> int:
+        """Return the total number of (interface, beacon) selections."""
+        return sum(len(beacons) for beacons in self.selections.values())
+
+    def enforce_limit(self, limit: int) -> None:
+        """Truncate every per-interface selection to ``limit`` entries."""
+        if limit < 0:
+            raise AlgorithmError(f"limit must be non-negative, got {limit}")
+        for interface in list(self.selections):
+            self.selections[interface] = self.selections[interface][:limit]
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Abstract base class of every routing algorithm.
+
+    Concrete algorithms must be stateless across executions (the RAC may
+    re-instantiate them at any time) and deterministic given the execution
+    context, which is what makes on-demand routing consistent across ASes.
+    """
+
+    #: Stable identifier of the algorithm, used in registries and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(self, context: ExecutionContext) -> ExecutionResult:
+        """Compute the optimal beacon set per egress interface."""
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+#: A scoring function maps (candidate, egress interface, context) to a sort
+#: key; lower keys are better.
+ScoreFunction = Callable[[CandidateBeacon, int, ExecutionContext], Tuple]
+
+
+def select_per_interface(
+    context: ExecutionContext,
+    score: ScoreFunction,
+    admit: Optional[Callable[[CandidateBeacon, int, ExecutionContext], bool]] = None,
+) -> ExecutionResult:
+    """Shared selection skeleton: rank candidates per egress interface.
+
+    For each egress interface, candidates are filtered by ``admit`` (if
+    given), sorted by ``score`` (ascending; ties broken deterministically by
+    AS path then beacon digest) and the best ``max_paths_per_interface`` are
+    selected.
+
+    Beacons whose path already contains the local AS are never selected:
+    propagating them would create a loop.
+    """
+    result = ExecutionResult()
+    limit = context.max_paths_per_interface
+    if limit <= 0:
+        return result
+    for egress_interface in context.egress_interfaces:
+        ranked: List[Tuple[Tuple, str, Beacon]] = []
+        for candidate in context.candidates:
+            if candidate.beacon.contains_as(context.local_as):
+                continue
+            if admit is not None and not admit(candidate, egress_interface, context):
+                continue
+            key = score(candidate, egress_interface, context)
+            tie_break = (candidate.beacon.as_path(), candidate.beacon.digest())
+            ranked.append((tuple(key) + tie_break, candidate.beacon.digest(), candidate.beacon))
+        ranked.sort(key=lambda item: item[0])
+        for _key, _digest, beacon in ranked[:limit]:
+            result.add(egress_interface, beacon)
+    return result

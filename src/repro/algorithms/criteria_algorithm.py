@@ -1,0 +1,81 @@
+"""Generic algorithm driven by a declarative criteria set.
+
+This is the extensibility workhorse of the reproduction: any
+:class:`~repro.core.criteria.CriteriaSet` — including ones deserialized
+from an on-demand algorithm payload that the executing AS has never seen
+before — can be turned into a routing algorithm without writing code.
+The algorithm ranks the candidate beacons of the bucket with the criteria
+set and propagates the best ones on every egress interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.algorithms.base import (
+    CandidateBeacon,
+    ExecutionContext,
+    ExecutionResult,
+    RoutingAlgorithm,
+)
+from repro.core.beacon import Beacon
+from repro.core.criteria import CriteriaSet
+from repro.exceptions import AlgorithmError
+
+
+@dataclass
+class CriteriaSetAlgorithm(RoutingAlgorithm):
+    """Optimize beacons according to a declarative criteria set.
+
+    Attributes:
+        criteria_set: What "optimal" means for this algorithm.
+        paths_per_interface: Number of beacons to propagate per egress
+            interface (capped by the RAC limit).
+    """
+
+    criteria_set: CriteriaSet
+    paths_per_interface: int = 1
+
+    def __post_init__(self) -> None:
+        if self.paths_per_interface < 1:
+            raise AlgorithmError(
+                f"paths_per_interface must be at least 1, got {self.paths_per_interface}"
+            )
+        self.name = f"criteria:{self.criteria_set.name}"
+
+    def execute(self, context: ExecutionContext) -> ExecutionResult:
+        """Rank the bucket with the criteria set, per egress interface."""
+        result = ExecutionResult()
+        limit = min(self.paths_per_interface, context.max_paths_per_interface)
+        if limit <= 0:
+            return result
+
+        loop_free = [
+            candidate
+            for candidate in context.candidates
+            if not candidate.beacon.contains_as(context.local_as)
+        ]
+        if not loop_free:
+            return result
+        by_digest: Dict[str, CandidateBeacon] = {c.beacon.digest(): c for c in loop_free}
+        selected = self.criteria_set.select([c.beacon for c in loop_free], limit=limit)
+        for egress_interface in context.egress_interfaces:
+            for beacon in selected:
+                # Reuse the exact candidate object so identity-based callers
+                # (e.g. extended-path wrappers) keep working.
+                candidate = by_digest.get(beacon.digest())
+                result.add(egress_interface, candidate.beacon if candidate else beacon)
+        return result
+
+    def best_beacon(self, context: ExecutionContext) -> Optional[Beacon]:
+        """Convenience helper: the single best admissible beacon of the bucket."""
+        loop_free = [
+            candidate.beacon
+            for candidate in context.candidates
+            if not candidate.beacon.contains_as(context.local_as)
+        ]
+        return self.criteria_set.best(loop_free)
+
+    def describe(self) -> str:
+        return f"criteria set {self.criteria_set.name!r}, {self.paths_per_interface} per interface"

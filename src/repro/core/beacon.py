@@ -1,0 +1,364 @@
+"""Path-construction beacons (PCBs).
+
+A beacon records one inter-domain path from its **origin AS** to the AS
+currently holding it, at the granularity of (AS, ingress interface, egress
+interface) hops, together with per-hop static performance metadata and a
+signature chain: every AS signs the entry it appends, over everything that
+precedes it (paper §III).
+
+Beacons are immutable.  Propagating a beacon to a neighbour produces a new
+beacon with one more :class:`ASEntry`; registering a beacon at the local
+path service produces a *terminated* beacon whose last entry has no egress
+interface.  The :class:`BeaconBuilder` owned by each AS's egress gateway is
+the only component that creates or extends beacons, which keeps the signing
+logic in one place.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import beacon_digest
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import BeaconError, LoopError
+from repro.core.extensions import ExtensionSet
+from repro.core.staticinfo import StaticInfo
+from repro.topology.entities import InterfaceID, LinkID, normalize_link_id
+
+#: Default beacon validity: SCION caps PCB lifetimes with a global upper
+#: bound; we use six hours of simulated time.
+DEFAULT_VALIDITY_MS = 6.0 * 60.0 * 60.0 * 1000.0
+
+_beacon_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ASEntry:
+    """One AS hop of a beacon.
+
+    Attributes:
+        as_id: The AS that appended this entry.
+        ingress_interface: Local interface on which the beacon was received;
+            ``None`` for the origin entry.
+        egress_interface: Local interface over which the beacon was (or will
+            be) propagated; ``None`` for a terminal entry created at
+            registration time.
+        static_info: Per-hop performance metadata.
+        signature: Signature of ``as_id`` over the beacon prefix ending in
+            this entry.
+    """
+
+    as_id: int
+    ingress_interface: Optional[int]
+    egress_interface: Optional[int]
+    static_info: StaticInfo = field(default_factory=StaticInfo)
+    signature: bytes = b""
+
+    def encode_unsigned(self) -> str:
+        """Return the canonical encoding of the entry without its signature."""
+        return (
+            f"entry(as={self.as_id},in={self.ingress_interface},"
+            f"out={self.egress_interface},{self.static_info.encode()})"
+        )
+
+    def encode(self) -> str:
+        """Return the canonical encoding including the signature."""
+        return f"{self.encode_unsigned()}sig({self.signature.hex()})"
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """An immutable path-construction beacon.
+
+    Attributes:
+        origin_as: AS that originated the beacon.
+        created_at_ms: Simulated creation timestamp in milliseconds.
+        validity_ms: Lifetime after which the beacon expires.
+        entries: AS entries from the origin to the current holder.
+        extensions: IREC extensions set by the origin AS.
+        beacon_id: Monotonic identifier, unique within one process; used
+            only for diagnostics, never for protocol decisions.
+    """
+
+    origin_as: int
+    created_at_ms: float
+    entries: Tuple[ASEntry, ...]
+    extensions: ExtensionSet = field(default_factory=ExtensionSet)
+    validity_ms: float = DEFAULT_VALIDITY_MS
+    beacon_id: int = field(default_factory=lambda: next(_beacon_sequence))
+
+    # ------------------------------------------------------------------
+    # structural accessors
+    # ------------------------------------------------------------------
+    @property
+    def hop_count(self) -> int:
+        """Return the number of AS entries (AS-level path length)."""
+        return len(self.entries)
+
+    @property
+    def last_entry(self) -> ASEntry:
+        """Return the most recently appended entry."""
+        if not self.entries:
+            raise BeaconError("beacon has no entries")
+        return self.entries[-1]
+
+    @property
+    def last_as(self) -> int:
+        """Return the AS that appended the last entry."""
+        return self.last_entry.as_id
+
+    @property
+    def origin_interface(self) -> Optional[int]:
+        """Return the egress interface of the origin entry."""
+        if not self.entries:
+            return None
+        return self.entries[0].egress_interface
+
+    @property
+    def is_terminated(self) -> bool:
+        """Return whether the beacon has been terminated (registered)."""
+        return bool(self.entries) and self.entries[-1].egress_interface is None
+
+    @property
+    def target_as(self) -> Optional[int]:
+        """Return the pull-based target AS, if any."""
+        return self.extensions.target.target_as if self.extensions.target else None
+
+    @property
+    def algorithm_id(self) -> Optional[str]:
+        """Return the on-demand algorithm identifier, if any."""
+        return self.extensions.algorithm.algorithm_id if self.extensions.algorithm else None
+
+    @property
+    def interface_group_id(self) -> Optional[int]:
+        """Return the origin interface-group identifier, if any."""
+        if self.extensions.interface_group is None:
+            return None
+        return self.extensions.interface_group.group_id
+
+    def as_path(self) -> Tuple[int, ...]:
+        """Return the sequence of AS identifiers from the origin onwards."""
+        return tuple(entry.as_id for entry in self.entries)
+
+    def contains_as(self, as_id: int) -> bool:
+        """Return whether ``as_id`` already appears on the beacon's path."""
+        return any(entry.as_id == as_id for entry in self.entries)
+
+    def links(self) -> Tuple[LinkID, ...]:
+        """Return the inter-domain links traversed, as normalised link ids.
+
+        The link between consecutive entries ``i`` and ``i + 1`` connects
+        the egress interface of entry ``i`` with the ingress interface of
+        entry ``i + 1``.
+        """
+        result: List[LinkID] = []
+        for previous, current in zip(self.entries, self.entries[1:]):
+            if previous.egress_interface is None or current.ingress_interface is None:
+                raise BeaconError("interior beacon entries must specify both interfaces")
+            a: InterfaceID = (previous.as_id, previous.egress_interface)
+            b: InterfaceID = (current.as_id, current.ingress_interface)
+            result.append(normalize_link_id(a, b))
+        return tuple(result)
+
+    def interfaces(self) -> Tuple[InterfaceID, ...]:
+        """Return every (AS, interface) pair that appears on the beacon."""
+        result: List[InterfaceID] = []
+        for entry in self.entries:
+            if entry.ingress_interface is not None:
+                result.append((entry.as_id, entry.ingress_interface))
+            if entry.egress_interface is not None:
+                result.append((entry.as_id, entry.egress_interface))
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # accumulated metrics
+    # ------------------------------------------------------------------
+    def total_latency_ms(self) -> float:
+        """Return the accumulated latency from the origin to the holder.
+
+        Sums every entry's intra-AS latency and every traversed link's
+        latency.  For a non-terminated beacon the last entry's egress link
+        latency is included, i.e. the value is the latency up to the ingress
+        interface of the *next* AS (the one about to receive the beacon),
+        matching what that AS observes when optimizing received paths.
+        """
+        return sum(entry.static_info.hop_latency_ms for entry in self.entries)
+
+    def bottleneck_bandwidth_mbps(self) -> float:
+        """Return the bottleneck (minimum) link bandwidth along the path."""
+        bandwidths = [
+            entry.static_info.link_bandwidth_mbps
+            for entry in self.entries
+            if entry.static_info.link_bandwidth_mbps is not None
+        ]
+        if not bandwidths:
+            return float("inf")
+        return min(bandwidths)
+
+    # ------------------------------------------------------------------
+    # lifecycle and integrity
+    # ------------------------------------------------------------------
+    def is_expired(self, now_ms: float) -> bool:
+        """Return whether the beacon has passed its validity horizon."""
+        return now_ms >= self.created_at_ms + self.validity_ms
+
+    def expires_at_ms(self) -> float:
+        """Return the absolute simulated expiry time."""
+        return self.created_at_ms + self.validity_ms
+
+    def header_encoding(self) -> str:
+        """Return the canonical encoding of the beacon header (no entries)."""
+        return (
+            f"pcb(origin={self.origin_as},created={self.created_at_ms:.3f},"
+            f"validity={self.validity_ms:.3f},{self.extensions.encode()})"
+        )
+
+    def signed_prefix(self, upto: int) -> bytes:
+        """Return the byte string signed by the AS that appended entry ``upto``.
+
+        The signed material covers the header, all fully-encoded previous
+        entries (including their signatures) and the unsigned encoding of
+        entry ``upto`` itself, which chains the signatures together.
+        """
+        if not 0 <= upto < len(self.entries):
+            raise BeaconError(f"entry index {upto} out of range")
+        parts = [self.header_encoding()]
+        parts.extend(entry.encode() for entry in self.entries[:upto])
+        parts.append(self.entries[upto].encode_unsigned())
+        return "|".join(parts).encode("utf-8")
+
+    def encode(self) -> bytes:
+        """Return the full canonical encoding (used for hashing/dedup)."""
+        parts = [self.header_encoding()]
+        parts.extend(entry.encode() for entry in self.entries)
+        return "|".join(parts).encode("utf-8")
+
+    def digest(self) -> str:
+        """Return the SHA-256 hex digest of the full encoding."""
+        return beacon_digest(self.encode())
+
+    def verify(self, verifier: Verifier) -> None:
+        """Verify the complete signature chain.
+
+        Raises:
+            SignatureError: If any entry's signature is invalid.
+            BeaconError: If the beacon has no entries.
+        """
+        if not self.entries:
+            raise BeaconError("cannot verify a beacon without entries")
+        for index, entry in enumerate(self.entries):
+            verifier.verify(entry.as_id, self.signed_prefix(index), entry.signature)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_entry(self, entry: ASEntry) -> "Beacon":
+        """Return a new beacon with ``entry`` appended (no loop allowed)."""
+        if self.is_terminated:
+            raise BeaconError("cannot extend a terminated beacon")
+        if self.contains_as(entry.as_id):
+            raise LoopError(
+                f"AS {entry.as_id} already on path {self.as_path()}; refusing to create a loop"
+            )
+        return replace(self, entries=self.entries + (entry,), beacon_id=next(_beacon_sequence))
+
+
+@dataclass
+class BeaconBuilder:
+    """Creates, extends and terminates beacons on behalf of one AS.
+
+    The builder encapsulates the signing logic: entries are first appended
+    unsigned, then the signature over the correctly chained prefix is
+    computed and substituted in.  It is owned by the AS's egress gateway.
+    """
+
+    as_id: int
+    signer: Signer
+
+    def originate(
+        self,
+        egress_interface: int,
+        created_at_ms: float,
+        static_info: Optional[StaticInfo] = None,
+        extensions: Optional[ExtensionSet] = None,
+        validity_ms: float = DEFAULT_VALIDITY_MS,
+    ) -> Beacon:
+        """Create a fresh beacon leaving this AS over ``egress_interface``."""
+        entry = ASEntry(
+            as_id=self.as_id,
+            ingress_interface=None,
+            egress_interface=egress_interface,
+            static_info=static_info or StaticInfo(),
+        )
+        beacon = Beacon(
+            origin_as=self.as_id,
+            created_at_ms=created_at_ms,
+            entries=(entry,),
+            extensions=extensions or ExtensionSet(),
+            validity_ms=validity_ms,
+        )
+        return self._sign_last_entry(beacon)
+
+    def extend(
+        self,
+        beacon: Beacon,
+        ingress_interface: int,
+        egress_interface: int,
+        static_info: Optional[StaticInfo] = None,
+    ) -> Beacon:
+        """Append this AS's hop to ``beacon`` for propagation."""
+        entry = ASEntry(
+            as_id=self.as_id,
+            ingress_interface=ingress_interface,
+            egress_interface=egress_interface,
+            static_info=static_info or StaticInfo(),
+        )
+        return self._sign_last_entry(beacon.with_entry(entry))
+
+    def terminate(
+        self,
+        beacon: Beacon,
+        ingress_interface: int,
+        static_info: Optional[StaticInfo] = None,
+    ) -> Beacon:
+        """Append a terminal (no-egress) entry, producing a registrable segment."""
+        entry = ASEntry(
+            as_id=self.as_id,
+            ingress_interface=ingress_interface,
+            egress_interface=None,
+            static_info=static_info or StaticInfo(),
+        )
+        return self._sign_last_entry(beacon.with_entry(entry))
+
+    def _sign_last_entry(self, beacon: Beacon) -> Beacon:
+        """Replace the last entry with a signed copy."""
+        index = len(beacon.entries) - 1
+        signature = self.signer.sign(beacon.signed_prefix(index))
+        signed_entry = replace(beacon.entries[index], signature=signature)
+        entries = beacon.entries[:index] + (signed_entry,)
+        return replace(beacon, entries=entries)
+
+
+def dedupe_beacons(beacons: Iterable[Beacon]) -> List[Beacon]:
+    """Return ``beacons`` with exact duplicates (by digest) removed.
+
+    Order is preserved; the first occurrence of each digest wins.
+    """
+    seen = set()
+    result: List[Beacon] = []
+    for beacon in beacons:
+        digest = beacon.digest()
+        if digest not in seen:
+            seen.add(digest)
+            result.append(beacon)
+    return result
+
+
+def beacons_per_origin(beacons: Sequence[Beacon]) -> dict:
+    """Group beacons by origin AS (helper shared by stores and algorithms)."""
+    grouped: dict = {}
+    for beacon in beacons:
+        grouped.setdefault(beacon.origin_as, []).append(beacon)
+    return grouped

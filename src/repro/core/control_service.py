@@ -1,0 +1,291 @@
+"""The IREC control service: one AS's complete control plane.
+
+The control service wires together the intra-AS components of §V — ingress
+gateway, routing algorithm containers and egress gateway — and exposes the
+handlers the transport invokes (beacon delivery, pull returns, algorithm
+fetches) as well as the operations the beaconing process drives
+(origination and periodic RAC rounds).
+
+It replaces the legacy SCION control service of one AS; the legacy baseline
+lives in :mod:`repro.scion.legacy` and implements the same transport-facing
+interface, which is what makes mixed (backward-compatibility) deployments
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RoutingAlgorithm
+from repro.core.algorithm_registry import AlgorithmFetcher, AlgorithmRepository
+from repro.core.beacon import Beacon, BeaconBuilder, DEFAULT_VALIDITY_MS
+from repro.core.databases import IngressDatabase, PathService
+from repro.core.egress import EgressGateway
+from repro.core.extensions import ExtensionSet
+from repro.core.ingress import IngressGateway
+from repro.core.interface_groups import (
+    InterfaceGroupAssignment,
+    InterfaceGroupingPolicy,
+    SingleGroupPolicy,
+)
+from repro.core.local_view import LocalTopologyView
+from repro.core.ondemand import OnDemandAlgorithmManager
+from repro.core.rac import (
+    RACConfig,
+    RACExecutionReport,
+    RACSelection,
+    RoutingAlgorithmContainer,
+)
+from repro.core.transport import ControlPlaneTransport
+from repro.crypto.keys import KeyStore
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ControlServiceConfig:
+    """Deployment knobs of one IREC control service.
+
+    Attributes:
+        verify_signatures: Whether the ingress gateway verifies PCB
+            signature chains (disable only for very large simulations).
+        beacon_validity_ms: Lifetime of originated beacons.
+        registration_limit: Per-(criteria, origin, interface-group) cap of
+            the path service — 20 in the paper's simulations.
+        originate_with_groups: Whether originated beacons carry the
+            interface-group extension.
+    """
+
+    verify_signatures: bool = True
+    beacon_validity_ms: float = DEFAULT_VALIDITY_MS
+    registration_limit: int = 20
+    originate_with_groups: bool = True
+
+
+@dataclass
+class RoundReport:
+    """Outcome of one beaconing round at one AS."""
+
+    as_id: int
+    now_ms: float
+    rac_reports: List[RACExecutionReport] = field(default_factory=list)
+    propagated: int = 0
+    registered: int = 0
+
+    @property
+    def total_processing_ms(self) -> float:
+        """Return the summed RAC processing latency of the round."""
+        return sum(report.total_ms for report in self.rac_reports)
+
+
+class IrecControlService:
+    """The control plane of one IREC-enabled AS."""
+
+    def __init__(
+        self,
+        view: LocalTopologyView,
+        key_store: KeyStore,
+        transport: ControlPlaneTransport,
+        grouping_policy: Optional[InterfaceGroupingPolicy] = None,
+        config: Optional[ControlServiceConfig] = None,
+    ) -> None:
+        self.view = view
+        self.config = config or ControlServiceConfig()
+        self.transport = transport
+        self.key_store = key_store
+
+        signer = Signer(as_id=view.as_id, key_store=key_store)
+        verifier = Verifier(key_store=key_store)
+        self.builder = BeaconBuilder(as_id=view.as_id, signer=signer)
+        self.ingress = IngressGateway(
+            as_id=view.as_id,
+            verifier=verifier,
+            database=IngressDatabase(),
+            verify_signatures=self.config.verify_signatures,
+        )
+        self.egress = EgressGateway(
+            view=view,
+            builder=self.builder,
+            transport=transport,
+            path_service=PathService(max_paths_per_key=self.config.registration_limit),
+            beacon_validity_ms=self.config.beacon_validity_ms,
+        )
+        self.racs: List[RoutingAlgorithmContainer] = []
+        self.repository = AlgorithmRepository(as_id=view.as_id)
+        self.pull_results: List[Tuple[Beacon, float]] = []
+        policy = grouping_policy or SingleGroupPolicy()
+        self.grouping: InterfaceGroupAssignment = policy.assign(view.as_info)
+
+    # ------------------------------------------------------------------
+    # identity and wiring
+    # ------------------------------------------------------------------
+    @property
+    def as_id(self) -> int:
+        """Return the local AS identifier."""
+        return self.view.as_id
+
+    @property
+    def path_service(self) -> PathService:
+        """Return the AS's path service."""
+        return self.egress.path_service
+
+    def add_static_rac(
+        self,
+        rac_id: str,
+        algorithm: RoutingAlgorithm,
+        max_paths_per_interface: int = 20,
+        registration_limit: Optional[int] = None,
+        use_interface_groups: bool = True,
+        use_targets: bool = True,
+    ) -> RoutingAlgorithmContainer:
+        """Create, register and return a static RAC running ``algorithm``."""
+        config = RACConfig(
+            rac_id=rac_id,
+            on_demand=False,
+            max_paths_per_interface=max_paths_per_interface,
+            registration_limit=registration_limit
+            if registration_limit is not None
+            else self.config.registration_limit,
+            use_interface_groups=use_interface_groups,
+            use_targets=use_targets,
+        )
+        rac = RoutingAlgorithmContainer(config=config, algorithm=algorithm)
+        self.racs.append(rac)
+        return rac
+
+    def add_on_demand_rac(
+        self,
+        rac_id: str,
+        max_paths_per_interface: int = 20,
+        registration_limit: Optional[int] = None,
+        cache_enabled: bool = True,
+    ) -> RoutingAlgorithmContainer:
+        """Create, register and return an on-demand RAC."""
+        fetcher = AlgorithmFetcher(
+            transport=lambda origin_as, algorithm_id: self.transport.fetch_algorithm(
+                self.as_id, origin_as, algorithm_id
+            ),
+            cache_enabled=cache_enabled,
+        )
+        manager = OnDemandAlgorithmManager(fetcher=fetcher, cache_enabled=cache_enabled)
+        config = RACConfig(
+            rac_id=rac_id,
+            on_demand=True,
+            max_paths_per_interface=max_paths_per_interface,
+            registration_limit=registration_limit
+            if registration_limit is not None
+            else self.config.registration_limit,
+        )
+        rac = RoutingAlgorithmContainer(config=config, on_demand_manager=manager)
+        self.racs.append(rac)
+        return rac
+
+    # ------------------------------------------------------------------
+    # transport-facing handlers
+    # ------------------------------------------------------------------
+    def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
+        """Handle a PCB delivered by a neighbouring AS."""
+        return self.ingress.receive(beacon, on_interface=on_interface, now_ms=now_ms)
+
+    def receive_returned_beacon(self, beacon: Beacon, now_ms: float) -> None:
+        """Handle a pull-based PCB returned by its target AS."""
+        if beacon.origin_as != self.as_id:
+            raise ConfigurationError(
+                f"AS {self.as_id} received a returned beacon originated by AS {beacon.origin_as}"
+            )
+        self.pull_results.append((beacon, now_ms))
+
+    def serve_algorithm(self, algorithm_id: str) -> bytes:
+        """Serve a published on-demand algorithm payload."""
+        return self.repository.fetch(algorithm_id)
+
+    # ------------------------------------------------------------------
+    # origination
+    # ------------------------------------------------------------------
+    def publish_algorithm(self, algorithm_id: str, payload: bytes) -> str:
+        """Publish an on-demand payload; return its hash for PCB extensions."""
+        return self.repository.publish(algorithm_id, payload)
+
+    def originate(self, now_ms: float) -> List[Beacon]:
+        """Originate the periodic (push) beacons of this AS.
+
+        One beacon is created per local interface; when interface groups
+        are enabled, each beacon carries the group of its interface.
+        """
+        originated: List[Beacon] = []
+        attached = set(self.view.interface_ids())
+        for group_id in self.grouping.group_ids():
+            extensions = ExtensionSet()
+            if self.config.originate_with_groups:
+                extensions = extensions.with_interface_group(group_id)
+            # Only interfaces with an attached inter-domain link can carry
+            # beacons; provisioned-but-unused interfaces are skipped.
+            members = [m for m in self.grouping.members(group_id) if m in attached]
+            if not members:
+                continue
+            originated.extend(
+                self.egress.originate(now_ms=now_ms, interfaces=members, extensions=extensions)
+            )
+        return originated
+
+    def originate_pull(
+        self,
+        target_as: int,
+        now_ms: float,
+        algorithm_id: Optional[str] = None,
+        interfaces: Optional[Sequence[int]] = None,
+    ) -> List[Beacon]:
+        """Originate pull-based beacons towards ``target_as``.
+
+        When ``algorithm_id`` names a payload previously published through
+        :meth:`publish_algorithm`, the beacons additionally carry the
+        on-demand algorithm extension (the combination §IV-C prescribes for
+        source-side criteria, property P4).
+        """
+        extensions = ExtensionSet().with_target(target_as)
+        if algorithm_id is not None:
+            extensions = extensions.with_algorithm(
+                algorithm_id, self.repository.hash_of(algorithm_id)
+            )
+        return self.egress.originate(now_ms=now_ms, interfaces=interfaces, extensions=extensions)
+
+    # ------------------------------------------------------------------
+    # periodic processing
+    # ------------------------------------------------------------------
+    def run_round(self, now_ms: float) -> RoundReport:
+        """Run every RAC, propagate and register its selections, expire state."""
+        report = RoundReport(as_id=self.as_id, now_ms=now_ms)
+        all_selections: List[RACSelection] = []
+        for rac in self.racs:
+            selections, rac_report = rac.process(
+                database=self.ingress.database,
+                egress_interfaces=self.view.interface_ids(),
+                intra_latency_ms=self.view.intra_latency_ms,
+                local_as=self.as_id,
+            )
+            report.rac_reports.append(rac_report)
+            all_selections.extend(selections)
+
+        report.propagated = self.egress.propagate(all_selections)
+        report.registered = self.egress.register(all_selections, now_ms=now_ms)
+        self.ingress.expire(now_ms)
+        self.egress.expire(now_ms)
+        return report
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def registered_paths_to(self, origin_as: int):
+        """Return the registered paths towards ``origin_as``."""
+        return self.path_service.paths_to(origin_as)
+
+    def pull_results_for(self, algorithm_id: Optional[str] = None) -> List[Tuple[Beacon, float]]:
+        """Return returned pull beacons, optionally filtered by algorithm id."""
+        if algorithm_id is None:
+            return list(self.pull_results)
+        return [
+            (beacon, at_ms)
+            for beacon, at_ms in self.pull_results
+            if beacon.algorithm_id == algorithm_id
+        ]

@@ -1,0 +1,256 @@
+"""Ingress and egress beacon databases.
+
+The paper's intra-AS architecture stores received PCBs in an **ingress
+database** (queried by RACs in buckets of one origin AS, interface group
+and target) and tracks propagated PCBs in an **egress database** that only
+keeps beacon hashes together with the egress interfaces each beacon was
+already sent on, to deduplicate the output of multiple RACs while bounding
+memory (paper §V-B, §V-D).  Both databases expire (soon-to-be) outdated
+entries periodically.
+
+The original implementation uses SQLite; the reproduction uses in-memory
+indexed stores with identical semantics (insert, bucketed query, expiry,
+dedup-by-hash), which is sufficient because the evaluation never exercises
+persistence across process restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.beacon import Beacon
+from repro.exceptions import GatewayError
+
+#: A bucket key: (origin AS, interface group id or None, target AS or None,
+#: algorithm id or None).  RACs request candidates one bucket at a time.
+BucketKey = Tuple[int, Optional[int], Optional[int], Optional[str]]
+
+
+@dataclass(frozen=True)
+class StoredBeacon:
+    """A beacon at rest in the ingress database.
+
+    Attributes:
+        beacon: The verified beacon.
+        received_on_interface: Local interface the beacon arrived on; this
+            is what extended-path optimization and beacon termination need.
+        received_at_ms: Simulated arrival time.
+    """
+
+    beacon: Beacon
+    received_on_interface: int
+    received_at_ms: float
+
+    @property
+    def bucket(self) -> BucketKey:
+        """Return the bucket this beacon belongs to."""
+        return (
+            self.beacon.origin_as,
+            self.beacon.interface_group_id,
+            self.beacon.target_as,
+            self.beacon.algorithm_id,
+        )
+
+
+@dataclass
+class IngressDatabase:
+    """Indexed store of received beacons.
+
+    Beacons are deduplicated by digest: receiving the same beacon twice
+    (e.g. over two parallel links) keeps only the first copy.
+    """
+
+    expiry_margin_ms: float = 0.0
+    _by_digest: Dict[str, StoredBeacon] = field(default_factory=dict)
+    _buckets: Dict[BucketKey, List[str]] = field(default_factory=dict)
+
+    def insert(self, stored: StoredBeacon) -> bool:
+        """Insert a beacon; return ``False`` if it was already present."""
+        digest = stored.beacon.digest()
+        if digest in self._by_digest:
+            return False
+        self._by_digest[digest] = stored
+        self._buckets.setdefault(stored.bucket, []).append(digest)
+        return True
+
+    def bucket_keys(self) -> Tuple[BucketKey, ...]:
+        """Return all non-empty bucket keys, deterministically ordered."""
+        return tuple(
+            sorted(
+                (key for key, digests in self._buckets.items() if digests),
+                key=lambda key: (key[0], key[1] or -1, key[2] or -1, key[3] or ""),
+            )
+        )
+
+    def beacons_in_bucket(self, bucket: BucketKey) -> List[StoredBeacon]:
+        """Return the stored beacons of one bucket (insertion order)."""
+        return [self._by_digest[d] for d in self._buckets.get(bucket, ()) if d in self._by_digest]
+
+    def all_beacons(self) -> List[StoredBeacon]:
+        """Return every stored beacon (insertion order within buckets)."""
+        return list(self._by_digest.values())
+
+    def get(self, digest: str) -> Optional[StoredBeacon]:
+        """Return the stored beacon with ``digest``, if present."""
+        return self._by_digest.get(digest)
+
+    def remove_expired(self, now_ms: float) -> int:
+        """Drop beacons that are expired (or about to expire); return the count."""
+        horizon = now_ms + self.expiry_margin_ms
+        expired = [
+            digest
+            for digest, stored in self._by_digest.items()
+            if stored.beacon.is_expired(horizon)
+        ]
+        for digest in expired:
+            stored = self._by_digest.pop(digest)
+            bucket = self._buckets.get(stored.bucket)
+            if bucket and digest in bucket:
+                bucket.remove(digest)
+        return len(expired)
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._by_digest
+
+
+@dataclass
+class EgressRecord:
+    """Egress-database entry: which interfaces a beacon hash was sent on."""
+
+    expires_at_ms: float
+    egress_interfaces: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class EgressDatabase:
+    """Hash-only store of already-propagated beacons.
+
+    ``filter_new_interfaces`` is the deduplication primitive of the egress
+    gateway: given a beacon and the egress interfaces the RACs selected it
+    for, it returns only the interfaces the beacon has *not* been sent on
+    yet, and records them (paper §V-D).
+    """
+
+    _records: Dict[str, EgressRecord] = field(default_factory=dict)
+
+    def filter_new_interfaces(
+        self, digest: str, interfaces: Iterable[int], expires_at_ms: float
+    ) -> List[int]:
+        """Return the not-yet-used interfaces for ``digest`` and record them."""
+        record = self._records.get(digest)
+        if record is None:
+            record = EgressRecord(expires_at_ms=expires_at_ms)
+            self._records[digest] = record
+        record.expires_at_ms = max(record.expires_at_ms, expires_at_ms)
+        fresh = [i for i in interfaces if i not in record.egress_interfaces]
+        record.egress_interfaces.update(fresh)
+        return fresh
+
+    def interfaces_for(self, digest: str) -> Set[int]:
+        """Return the interfaces ``digest`` was already propagated on."""
+        record = self._records.get(digest)
+        return set(record.egress_interfaces) if record is not None else set()
+
+    def remove_expired(self, now_ms: float) -> int:
+        """Drop records whose beacons have expired; return the count."""
+        expired = [d for d, record in self._records.items() if record.expires_at_ms <= now_ms]
+        for digest in expired:
+            del self._records[digest]
+        return len(expired)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+
+@dataclass(frozen=True)
+class RegisteredPath:
+    """A path registered at the local path service.
+
+    Attributes:
+        segment: The terminated beacon describing the path from its origin
+            AS to the registering AS.
+        criteria_tags: Names of the criteria (RACs) the path was optimized
+            for — the usability tagging of paper §V-D.
+        registered_at_ms: Simulated registration time.
+    """
+
+    segment: Beacon
+    criteria_tags: Tuple[str, ...]
+    registered_at_ms: float
+
+    def __post_init__(self) -> None:
+        if not self.segment.is_terminated:
+            raise GatewayError("only terminated beacons can be registered as paths")
+
+
+@dataclass
+class PathService:
+    """The per-AS path service end hosts query for paths.
+
+    Registration enforces the per-(criteria, origin, interface-group) limit
+    the paper uses in its simulations (20 paths); re-registration of an
+    already-known segment merges the criteria tags instead of consuming
+    quota.
+    """
+
+    max_paths_per_key: int = 20
+    _by_digest: Dict[str, RegisteredPath] = field(default_factory=dict)
+    _quota: Dict[Tuple[str, int, Optional[int]], int] = field(default_factory=dict)
+
+    def register(self, path: RegisteredPath) -> bool:
+        """Register ``path``; return whether it was accepted (or merged)."""
+        digest = path.segment.digest()
+        existing = self._by_digest.get(digest)
+        if existing is not None:
+            merged_tags = tuple(sorted(set(existing.criteria_tags) | set(path.criteria_tags)))
+            self._by_digest[digest] = RegisteredPath(
+                segment=existing.segment,
+                criteria_tags=merged_tags,
+                registered_at_ms=existing.registered_at_ms,
+            )
+            return True
+
+        accepted = False
+        for tag in path.criteria_tags:
+            key = (tag, path.segment.origin_as, path.segment.interface_group_id)
+            used = self._quota.get(key, 0)
+            if used < self.max_paths_per_key:
+                self._quota[key] = used + 1
+                accepted = True
+        if not accepted:
+            return False
+        self._by_digest[digest] = path
+        return True
+
+    def paths_to(self, origin_as: int) -> List[RegisteredPath]:
+        """Return every registered path whose origin is ``origin_as``."""
+        return [p for p in self._by_digest.values() if p.segment.origin_as == origin_as]
+
+    def paths_with_tag(self, tag: str) -> List[RegisteredPath]:
+        """Return every registered path optimized for criteria ``tag``."""
+        return [p for p in self._by_digest.values() if tag in p.criteria_tags]
+
+    def all_paths(self) -> List[RegisteredPath]:
+        """Return every registered path."""
+        return list(self._by_digest.values())
+
+    def remove_expired(self, now_ms: float) -> int:
+        """Drop registered paths whose segments have expired."""
+        expired = [
+            digest
+            for digest, path in self._by_digest.items()
+            if path.segment.is_expired(now_ms)
+        ]
+        for digest in expired:
+            del self._by_digest[digest]
+        return len(expired)
+
+    def __len__(self) -> int:
+        return len(self._by_digest)

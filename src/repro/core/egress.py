@@ -1,0 +1,230 @@
+"""The egress gateway (paper §V-D).
+
+The egress gateway is responsible for everything that leaves the AS's
+control plane:
+
+* **PCB initialization** — originating fresh beacons on the AS's egress
+  interfaces with static metadata, optional Target / Algorithm /
+  InterfaceGroup extensions, and the origin's signature,
+* **PCB propagation** — taking the per-egress-interface optimal beacons
+  selected by the RACs, deduplicating them against the egress database
+  (which only stores beacon hashes), extending them with the local AS entry
+  (including intra-AS latency between ingress and egress interface and the
+  egress link's metadata), signing and sending them to the corresponding
+  neighbours,
+* **pull return** — sending pull-based beacons whose target is the local AS
+  back to their origin instead of propagating them, and
+* **path registration** — terminating selected beacons and registering them
+  at the local path service, tagged with the criteria they were optimized
+  for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.beacon import Beacon, BeaconBuilder, DEFAULT_VALIDITY_MS
+from repro.core.databases import EgressDatabase, PathService, RegisteredPath
+from repro.core.extensions import ExtensionSet
+from repro.core.local_view import LocalTopologyView
+from repro.core.rac import RACSelection
+from repro.core.transport import ControlPlaneTransport
+from repro.exceptions import GatewayError, LoopError
+
+
+@dataclass
+class EgressStats:
+    """Counters kept by the egress gateway."""
+
+    originated: int = 0
+    propagated: int = 0
+    returned_to_origin: int = 0
+    suppressed_duplicates: int = 0
+    suppressed_loops: int = 0
+    registered: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.originated = 0
+        self.propagated = 0
+        self.returned_to_origin = 0
+        self.suppressed_duplicates = 0
+        self.suppressed_loops = 0
+        self.registered = 0
+
+
+@dataclass
+class EgressGateway:
+    """Originates, propagates, returns and registers beacons for one AS."""
+
+    view: LocalTopologyView
+    builder: BeaconBuilder
+    transport: ControlPlaneTransport
+    database: EgressDatabase = field(default_factory=EgressDatabase)
+    path_service: PathService = field(default_factory=PathService)
+    beacon_validity_ms: float = DEFAULT_VALIDITY_MS
+    stats: EgressStats = field(default_factory=EgressStats)
+
+    @property
+    def as_id(self) -> int:
+        """Return the local AS identifier."""
+        return self.view.as_id
+
+    # ------------------------------------------------------------------
+    # origination
+    # ------------------------------------------------------------------
+    def originate(
+        self,
+        now_ms: float,
+        interfaces: Optional[Sequence[int]] = None,
+        extensions: Optional[ExtensionSet] = None,
+    ) -> List[Beacon]:
+        """Originate one beacon per egress interface and send it.
+
+        Args:
+            now_ms: Current simulated time.
+            interfaces: Interfaces to originate on; defaults to all local
+                interfaces.
+            extensions: Extensions to stamp on every originated beacon
+                (e.g. a target for pull-based routing or an algorithm for
+                on-demand routing).  The interface-group extension is the
+                caller's responsibility (see the control service, which
+                knows the grouping assignment).
+
+        Returns:
+            The originated beacons, in interface order.
+        """
+        selected = tuple(interfaces) if interfaces is not None else self.view.interface_ids()
+        originated = []
+        for interface_id in selected:
+            static_info = self.view.static_info_for(None, interface_id)
+            beacon = self.builder.originate(
+                egress_interface=interface_id,
+                created_at_ms=now_ms,
+                static_info=static_info,
+                extensions=extensions,
+                validity_ms=self.beacon_validity_ms,
+            )
+            self.transport.send_beacon(self.as_id, interface_id, beacon)
+            self.stats.originated += 1
+            originated.append(beacon)
+        return originated
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def propagate(self, selections: Iterable[RACSelection]) -> int:
+        """Propagate RAC-selected beacons to the corresponding neighbours.
+
+        Pull-based beacons whose target is the local AS are returned to
+        their origin instead (once per beacon, regardless of how many RACs
+        selected them).
+
+        Returns:
+            The number of PCBs actually sent to neighbours.
+        """
+        sent = 0
+        for selection in selections:
+            beacon = selection.beacon
+            digest = beacon.digest()
+
+            if beacon.target_as == self.as_id:
+                self._return_to_origin(selection, digest)
+                continue
+
+            candidate_interfaces = self._loop_free_interfaces(
+                beacon, selection.egress_interfaces
+            )
+            fresh = self.database.filter_new_interfaces(
+                digest, candidate_interfaces, expires_at_ms=beacon.expires_at_ms()
+            )
+            for egress_interface in fresh:
+                extended = self.builder.extend(
+                    beacon,
+                    ingress_interface=selection.stored.received_on_interface,
+                    egress_interface=egress_interface,
+                    static_info=self.view.static_info_for(
+                        selection.stored.received_on_interface, egress_interface
+                    ),
+                )
+                self.transport.send_beacon(self.as_id, egress_interface, extended)
+                self.stats.propagated += 1
+                sent += 1
+        return sent
+
+    def _loop_free_interfaces(
+        self, beacon: Beacon, interfaces: Sequence[int]
+    ) -> List[int]:
+        """Drop egress interfaces whose neighbouring AS is already on the path."""
+        result = []
+        for interface_id in interfaces:
+            neighbor_as, _neighbor_interface = self.view.neighbor_of(interface_id)
+            if beacon.contains_as(neighbor_as):
+                self.stats.suppressed_loops += 1
+                continue
+            result.append(interface_id)
+        return result
+
+    def _return_to_origin(self, selection: RACSelection, digest: str) -> None:
+        """Terminate a pull beacon at its target and send it back to the origin."""
+        already_returned = self.database.filter_new_interfaces(
+            digest, [-1], expires_at_ms=selection.beacon.expires_at_ms()
+        )
+        if not already_returned:
+            self.stats.suppressed_duplicates += 1
+            return
+        terminated = self.builder.terminate(
+            selection.beacon,
+            ingress_interface=selection.stored.received_on_interface,
+            static_info=self.view.static_info_for(
+                selection.stored.received_on_interface, None
+            ),
+        )
+        self.transport.return_beacon_to_origin(self.as_id, terminated)
+        self.stats.returned_to_origin += 1
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, selections: Iterable[RACSelection], now_ms: float) -> int:
+        """Terminate and register selected beacons at the local path service.
+
+        Each RAC's registrations are capped by its configured registration
+        limit through the path service's per-(criteria, origin, group)
+        quota.
+
+        Returns:
+            The number of paths newly registered (or merged).
+        """
+        registered = 0
+        for selection in selections:
+            beacon = selection.beacon
+            if beacon.origin_as == self.as_id:
+                continue
+            try:
+                segment = self.builder.terminate(
+                    beacon,
+                    ingress_interface=selection.stored.received_on_interface,
+                    static_info=self.view.static_info_for(
+                        selection.stored.received_on_interface, None
+                    ),
+                )
+            except LoopError as exc:
+                raise GatewayError(f"cannot terminate beacon for registration: {exc}") from exc
+            path = RegisteredPath(
+                segment=segment,
+                criteria_tags=(selection.criteria_tag,),
+                registered_at_ms=now_ms,
+            )
+            if self.path_service.register(path):
+                self.stats.registered += 1
+                registered += 1
+        return registered
+
+    def expire(self, now_ms: float) -> Tuple[int, int]:
+        """Expire outdated entries from the egress database and path service."""
+        return (
+            self.database.remove_expired(now_ms),
+            self.path_service.remove_expired(now_ms),
+        )

@@ -1,0 +1,99 @@
+"""Extended-path optimization helpers (paper §IV-E).
+
+When an AS optimizes *received* paths it ignores its own internal network,
+even though the intra-AS latency between the beacon's ingress interface and
+the candidate egress interface can flip the preference between two paths
+(Figure 4) — formally, the criterion is not isotone under path extension.
+IREC therefore optimizes **extended paths**: each received path's metrics
+are extended with the intra-AS metrics towards the egress interface before
+comparison.
+
+The RAC makes this possible by giving algorithms an intra-AS latency oracle
+(see :class:`repro.algorithms.base.ExecutionContext`); the helpers in this
+module compute extended metric values and quantify how often extension
+changes the decision, which the ablation benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.algorithms.base import CandidateBeacon, IntraLatencyOracle
+
+
+@dataclass(frozen=True)
+class ExtendedMetrics:
+    """Metrics of one candidate after extension towards an egress interface."""
+
+    received_latency_ms: float
+    intra_latency_ms: float
+    bandwidth_mbps: float
+    hop_count: int
+
+    @property
+    def extended_latency_ms(self) -> float:
+        """Return the latency of the extended path."""
+        return self.received_latency_ms + self.intra_latency_ms
+
+
+def extend_candidate(
+    candidate: CandidateBeacon,
+    egress_interface: int,
+    intra_latency_ms: IntraLatencyOracle,
+) -> ExtendedMetrics:
+    """Compute the extended metrics of ``candidate`` towards ``egress_interface``."""
+    beacon = candidate.beacon
+    intra = 0.0
+    if candidate.ingress_interface is not None:
+        intra = intra_latency_ms(candidate.ingress_interface, egress_interface)
+    return ExtendedMetrics(
+        received_latency_ms=beacon.total_latency_ms(),
+        intra_latency_ms=intra,
+        bandwidth_mbps=beacon.bottleneck_bandwidth_mbps(),
+        hop_count=beacon.hop_count,
+    )
+
+
+def best_received(
+    candidates: Sequence[CandidateBeacon],
+) -> Optional[CandidateBeacon]:
+    """Return the lowest-latency candidate judged on received paths only."""
+    if not candidates:
+        return None
+    return min(candidates, key=lambda candidate: candidate.beacon.total_latency_ms())
+
+
+def best_extended(
+    candidates: Sequence[CandidateBeacon],
+    egress_interface: int,
+    intra_latency_ms: IntraLatencyOracle,
+) -> Optional[CandidateBeacon]:
+    """Return the lowest-latency candidate judged on extended paths."""
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda candidate: extend_candidate(
+            candidate, egress_interface, intra_latency_ms
+        ).extended_latency_ms,
+    )
+
+
+def extension_changes_decision(
+    candidates: Sequence[CandidateBeacon],
+    egress_interface: int,
+    intra_latency_ms: IntraLatencyOracle,
+) -> Tuple[bool, Optional[CandidateBeacon], Optional[CandidateBeacon]]:
+    """Report whether extended-path optimization picks a different beacon.
+
+    Returns:
+        A triple ``(changed, received_choice, extended_choice)``; ``changed``
+        is ``True`` when the two selections differ (the Figure-4 situation).
+    """
+    received_choice = best_received(candidates)
+    extended_choice = best_extended(candidates, egress_interface, intra_latency_ms)
+    if received_choice is None or extended_choice is None:
+        return (False, received_choice, extended_choice)
+    changed = received_choice.beacon.digest() != extended_choice.beacon.digest()
+    return (changed, received_choice, extended_choice)

@@ -1,0 +1,129 @@
+"""The ingress gateway (paper §V-B).
+
+The ingress gateway is the entry point of every PCB into an AS: it verifies
+the signature chain, checks the beacon against the local AS's admission
+policy (expiry, loops, optionally more restrictive rules), stores accepted
+beacons in the ingress database and periodically removes (soon-to-be)
+expired ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.beacon import Beacon
+from repro.core.databases import IngressDatabase, StoredBeacon
+from repro.crypto.signer import Verifier
+from repro.exceptions import (
+    BeaconError,
+    ExpiredBeaconError,
+    PolicyViolationError,
+    SignatureError,
+)
+
+#: An admission policy inspects a beacon and raises
+#: :class:`PolicyViolationError` to reject it.
+AdmissionPolicy = Callable[[Beacon, int], None]
+
+
+@dataclass
+class IngressStats:
+    """Counters kept by the ingress gateway for diagnostics and benchmarks."""
+
+    received: int = 0
+    accepted: int = 0
+    duplicates: int = 0
+    rejected_signature: int = 0
+    rejected_policy: int = 0
+    rejected_expired: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.received = 0
+        self.accepted = 0
+        self.duplicates = 0
+        self.rejected_signature = 0
+        self.rejected_policy = 0
+        self.rejected_expired = 0
+
+
+@dataclass
+class IngressGateway:
+    """Receives, validates and stores incoming PCBs for one AS.
+
+    Attributes:
+        as_id: The local AS.
+        verifier: Signature verifier backed by the deployment's key store.
+        database: The ingress database shared with the AS's RACs.
+        policies: Additional admission policies applied after the built-in
+            signature, expiry and loop checks.
+        verify_signatures: Signature verification can be disabled for
+            large-scale simulations where cryptography dominates runtime
+            without affecting the studied behaviour.
+    """
+
+    as_id: int
+    verifier: Verifier
+    database: IngressDatabase = field(default_factory=IngressDatabase)
+    policies: List[AdmissionPolicy] = field(default_factory=list)
+    verify_signatures: bool = True
+    stats: IngressStats = field(default_factory=IngressStats)
+
+    def receive(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
+        """Process one incoming beacon.
+
+        Returns:
+            ``True`` if the beacon was accepted and stored, ``False`` if it
+            was a duplicate or rejected.
+        """
+        self.stats.received += 1
+        try:
+            self._admit(beacon, now_ms)
+        except SignatureError:
+            self.stats.rejected_signature += 1
+            return False
+        except ExpiredBeaconError:
+            self.stats.rejected_expired += 1
+            return False
+        except PolicyViolationError:
+            self.stats.rejected_policy += 1
+            return False
+
+        stored = StoredBeacon(
+            beacon=beacon, received_on_interface=on_interface, received_at_ms=now_ms
+        )
+        if not self.database.insert(stored):
+            self.stats.duplicates += 1
+            return False
+        self.stats.accepted += 1
+        return True
+
+    def _admit(self, beacon: Beacon, now_ms: float) -> None:
+        """Run the built-in checks and every configured policy."""
+        if not beacon.entries:
+            raise PolicyViolationError("beacon has no entries")
+        if beacon.is_expired(now_ms):
+            raise ExpiredBeaconError(
+                f"beacon from AS {beacon.origin_as} expired at {beacon.expires_at_ms():.0f} ms"
+            )
+        if beacon.is_terminated:
+            raise PolicyViolationError("terminated beacons cannot be propagated further")
+        if beacon.contains_as(self.as_id) and beacon.target_as != self.as_id:
+            # A beacon that already contains the local AS would loop.  The
+            # single exception is a pull-based beacon whose target is this
+            # AS: it legitimately comes back to be returned to its origin.
+            raise PolicyViolationError(
+                f"beacon path {beacon.as_path()} already contains AS {self.as_id}"
+            )
+        if self.verify_signatures:
+            try:
+                beacon.verify(self.verifier)
+            except BeaconError as exc:
+                raise SignatureError(str(exc)) from exc
+        for policy in self.policies:
+            policy(beacon, self.as_id)
+
+    def expire(self, now_ms: float) -> int:
+        """Remove expired beacons from the ingress database."""
+        return self.database.remove_expired(now_ms)

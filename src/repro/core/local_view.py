@@ -1,0 +1,122 @@
+"""The local topology view of one AS.
+
+A control service must not depend on global topology knowledge — an AS only
+knows its own interfaces, the links attached to them (including the
+neighbouring AS on the far end) and its internal network.  The
+:class:`LocalTopologyView` captures exactly that slice and is the only
+topology object handed to gateways and RACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.staticinfo import StaticInfo
+from repro.exceptions import UnknownInterfaceError, UnknownLinkError
+from repro.topology.entities import ASInfo, InterfaceID, Link
+from repro.topology.graph import Topology
+from repro.topology.intra_domain import IntraDomainModel
+
+
+@dataclass
+class LocalTopologyView:
+    """Everything one AS knows about its own attachment to the Internet.
+
+    Attributes:
+        as_info: The AS's interfaces.
+        intra_domain: Latency model between the AS's own interfaces.
+        links_by_interface: The inter-domain link attached to each local
+            interface.
+    """
+
+    as_info: ASInfo
+    intra_domain: IntraDomainModel
+    links_by_interface: Dict[int, Link] = field(default_factory=dict)
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        as_id: int,
+        intra_domain: Optional[IntraDomainModel] = None,
+    ) -> "LocalTopologyView":
+        """Extract the local view of ``as_id`` from a global topology."""
+        as_info = topology.as_info(as_id)
+        links: Dict[int, Link] = {}
+        for interface in as_info:
+            try:
+                links[interface.interface_id] = topology.link_of_interface(interface.key)
+            except UnknownLinkError:
+                # Interfaces without an attached inter-domain link (e.g.
+                # provisioned but unused ports) carry no control-plane
+                # traffic and are simply not part of the local view.
+                continue
+        model = intra_domain or IntraDomainModel(as_info=as_info)
+        return cls(as_info=as_info, intra_domain=model, links_by_interface=links)
+
+    @property
+    def as_id(self) -> int:
+        """Return the AS identifier."""
+        return self.as_info.as_id
+
+    def interface_ids(self) -> Tuple[int, ...]:
+        """Return the local interfaces that have an attached link, sorted."""
+        return tuple(sorted(self.links_by_interface))
+
+    def link_of(self, interface_id: int) -> Link:
+        """Return the inter-domain link attached to ``interface_id``."""
+        link = self.links_by_interface.get(interface_id)
+        if link is None:
+            raise UnknownLinkError(
+                f"AS {self.as_id} has no link on interface {interface_id}"
+            )
+        return link
+
+    def neighbor_of(self, interface_id: int) -> InterfaceID:
+        """Return the (AS, interface) at the far end of a local interface."""
+        link = self.link_of(interface_id)
+        return link.other_end((self.as_id, interface_id))
+
+    def intra_latency_ms(self, interface_a: int, interface_b: int) -> float:
+        """Return the intra-AS latency between two local interfaces."""
+        return self.intra_domain.latency_ms(interface_a, interface_b)
+
+    def static_info_for(
+        self, ingress_interface: Optional[int], egress_interface: Optional[int]
+    ) -> StaticInfo:
+        """Build the static-info record of this AS's hop in a beacon.
+
+        Args:
+            ingress_interface: Interface the beacon was received on, or
+                ``None`` at the origin AS.
+            egress_interface: Interface the beacon leaves on, or ``None``
+                for a terminal (registration) entry.
+        """
+        intra = 0.0
+        if ingress_interface is not None and egress_interface is not None:
+            intra = self.intra_latency_ms(ingress_interface, egress_interface)
+
+        link_latency = 0.0
+        link_bandwidth = None
+        egress_location = None
+        if egress_interface is not None:
+            link = self.link_of(egress_interface)
+            link_latency = link.latency_ms
+            link_bandwidth = link.bandwidth_mbps
+            egress_location = self._location(egress_interface)
+
+        ingress_location = self._location(ingress_interface) if ingress_interface is not None else None
+        return StaticInfo(
+            intra_latency_ms=intra,
+            link_latency_ms=link_latency,
+            link_bandwidth_mbps=link_bandwidth,
+            egress_location=egress_location,
+            ingress_location=ingress_location,
+        )
+
+    def _location(self, interface_id: int):
+        try:
+            return self.as_info.interface(interface_id).location
+        except UnknownInterfaceError:
+            return None

@@ -1,0 +1,134 @@
+"""The tiered standardization model (paper §VI).
+
+IREC categorizes its architectural features by how critical they are to
+global connectivity and how often they are expected to change:
+
+* **stable** features (PCB format, the three IREC extensions, the RAC ↔
+  algorithm interface, one default connectivity algorithm) are standardized
+  once,
+* **beta** features (elementary metrics and the globally preferred
+  algorithms for them) live on public append-only lists, and
+* **nightly** features (arbitrary application-specific criteria) are never
+  standardized — on-demand routing replaces standardization for them.
+
+The :class:`StandardizationRegistry` models those lists; it is used by the
+examples to show how a deployment grows new metrics and algorithms without
+touching stable features, and by tests to assert the append-only rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algebra import MetricDefinition
+from repro.exceptions import ConfigurationError
+
+
+class FeatureTier(enum.Enum):
+    """Standardization tier of a feature."""
+
+    STABLE = "stable"
+    BETA = "beta"
+    NIGHTLY = "nightly"
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One architectural feature and its tier."""
+
+    name: str
+    tier: FeatureTier
+    description: str = ""
+
+
+#: The stable features enumerated in §VI.
+STABLE_FEATURES: Tuple[Feature, ...] = (
+    Feature("pcb-format", FeatureTier.STABLE, "basic PCB format, compatible with legacy SCION"),
+    Feature("pcb-extensions", FeatureTier.STABLE, "target / algorithm / interface-group extensions"),
+    Feature("rac-interface", FeatureTier.STABLE, "standardized RAC-algorithm interface"),
+    Feature("default-algorithm", FeatureTier.STABLE, "single algorithm guaranteeing connectivity"),
+)
+
+
+@dataclass
+class StandardizationRegistry:
+    """Append-only registries of beta metrics and algorithms.
+
+    Attributes:
+        default_algorithm: Name of the stable connectivity algorithm (the
+            paper suggests basing it on the legacy SCION selection).
+    """
+
+    default_algorithm: str = "20sp"
+    _metrics: Dict[str, MetricDefinition] = field(default_factory=dict)
+    _beta_algorithms: List[str] = field(default_factory=list)
+    _nightly_algorithms: List[str] = field(default_factory=list)
+
+    def features(self) -> Tuple[Feature, ...]:
+        """Return every known feature with its tier."""
+        beta = tuple(
+            Feature(f"metric:{name}", FeatureTier.BETA, "elementary metric") for name in self._metrics
+        ) + tuple(
+            Feature(f"algorithm:{name}", FeatureTier.BETA, "beta algorithm")
+            for name in self._beta_algorithms
+        )
+        nightly = tuple(
+            Feature(f"algorithm:{name}", FeatureTier.NIGHTLY, "on-demand algorithm")
+            for name in self._nightly_algorithms
+        )
+        return STABLE_FEATURES + beta + nightly
+
+    # ------------------------------------------------------------------
+    # beta tier: append-only lists
+    # ------------------------------------------------------------------
+    def publish_metric(self, metric: MetricDefinition) -> None:
+        """Append a metric to the public metric list.
+
+        Raises:
+            ConfigurationError: If a different definition is already
+                published under the same name (the list is append-only).
+        """
+        existing = self._metrics.get(metric.name)
+        if existing is not None and existing != metric:
+            raise ConfigurationError(
+                f"metric {metric.name!r} is already published with a different definition"
+            )
+        self._metrics[metric.name] = metric
+
+    def metric(self, name: str) -> Optional[MetricDefinition]:
+        """Return the published metric named ``name``, if any."""
+        return self._metrics.get(name)
+
+    def metrics(self) -> Tuple[str, ...]:
+        """Return the published metric names, sorted."""
+        return tuple(sorted(self._metrics))
+
+    def publish_beta_algorithm(self, name: str) -> None:
+        """Append an algorithm to the beta list (idempotent)."""
+        if name not in self._beta_algorithms:
+            self._beta_algorithms.append(name)
+
+    def beta_algorithms(self) -> Tuple[str, ...]:
+        """Return the beta algorithm names in publication order."""
+        return tuple(self._beta_algorithms)
+
+    # ------------------------------------------------------------------
+    # nightly tier
+    # ------------------------------------------------------------------
+    def record_nightly_algorithm(self, name: str) -> None:
+        """Record an on-demand algorithm sighting (purely informational)."""
+        if name not in self._nightly_algorithms:
+            self._nightly_algorithms.append(name)
+
+    def nightly_algorithms(self) -> Tuple[str, ...]:
+        """Return the recorded nightly algorithm names."""
+        return tuple(self._nightly_algorithms)
+
+    def tier_of(self, feature_name: str) -> Optional[FeatureTier]:
+        """Return the tier of ``feature_name``, if it is known."""
+        for feature in self.features():
+            if feature.name == feature_name:
+                return feature.tier
+        return None

@@ -1,0 +1,108 @@
+"""Control-plane transport abstraction.
+
+Control services need three inter-AS interactions: sending a PCB to a
+neighbouring AS over a specific egress interface, returning a pull-based
+PCB to its origin AS, and fetching an on-demand algorithm payload from its
+origin AS.  The transport is abstracted behind a small protocol so that
+
+* the discrete-event simulation can deliver messages with realistic link
+  delays and count propagated PCBs per interface and period (Figure 8c),
+* unit tests can use :class:`LoopbackTransport`, which delivers
+  synchronously to in-process control services, and
+* the micro-benchmarks can run a single control service with a
+  :class:`NullTransport` that swallows messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.core.beacon import Beacon
+from repro.exceptions import SimulationError, UnknownASError
+
+
+class ControlPlaneTransport(Protocol):
+    """The inter-AS operations a control service relies on."""
+
+    def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
+        """Deliver ``beacon`` over the link attached to ``egress_interface``."""
+
+    def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
+        """Return a terminated pull-based ``beacon`` to its origin AS."""
+
+    def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
+        """Fetch an on-demand algorithm payload from ``origin_as``."""
+
+
+@dataclass
+class NullTransport:
+    """A transport that records outgoing messages but delivers nothing.
+
+    Used by micro-benchmarks that exercise a single AS in isolation.
+    """
+
+    sent: List[Tuple[int, int, Beacon]] = field(default_factory=list)
+    returned: List[Tuple[int, Beacon]] = field(default_factory=list)
+    payloads: Dict[Tuple[int, str], bytes] = field(default_factory=dict)
+
+    def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
+        """Record the send without delivering it."""
+        self.sent.append((sender_as, egress_interface, beacon))
+
+    def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
+        """Record the return without delivering it."""
+        self.returned.append((sender_as, beacon))
+
+    def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
+        """Serve a payload from the locally configured table."""
+        try:
+            return self.payloads[(origin_as, algorithm_id)]
+        except KeyError:
+            raise SimulationError(
+                f"no payload configured for ({origin_as}, {algorithm_id!r})"
+            ) from None
+
+
+@dataclass
+class LoopbackTransport:
+    """Synchronous in-process delivery between registered control services.
+
+    Control services register themselves under their AS identifier; sending
+    a beacon looks up the link's far end in the shared topology and invokes
+    the destination service's ``receive_beacon`` immediately.  Time is
+    whatever the caller passes via :attr:`clock`.
+    """
+
+    topology: "object"  # repro.topology.graph.Topology; kept loose to avoid import cycles
+    clock: Callable[[], float] = lambda: 0.0
+    services: Dict[int, "object"] = field(default_factory=dict)
+    sent_count: int = 0
+
+    def register(self, service: "object") -> None:
+        """Register a control service (anything with ``as_id`` and handlers)."""
+        self.services[service.as_id] = service
+
+    def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
+        """Deliver ``beacon`` synchronously to the far end of the link."""
+        link = self.topology.link_of_interface((sender_as, egress_interface))
+        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
+        service = self.services.get(remote_as)
+        if service is None:
+            raise UnknownASError(remote_as)
+        self.sent_count += 1
+        service.receive_beacon(beacon, on_interface=remote_interface, now_ms=self.clock())
+
+    def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
+        """Deliver a returned pull-based beacon to its origin's control service."""
+        service = self.services.get(beacon.origin_as)
+        if service is None:
+            raise UnknownASError(beacon.origin_as)
+        service.receive_returned_beacon(beacon, now_ms=self.clock())
+
+    def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
+        """Fetch a payload directly from the origin's control service."""
+        service = self.services.get(origin_as)
+        if service is None:
+            raise UnknownASError(origin_as)
+        return service.serve_algorithm(algorithm_id)

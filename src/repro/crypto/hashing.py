@@ -1,0 +1,44 @@
+"""Collision-resistant hashing helpers.
+
+Two places in IREC rely on hashing:
+
+* the **Algorithm PCB extension** carries the hash of the on-demand
+  algorithm implementation, so that a RAC fetching the executable from the
+  origin AS can verify its integrity (paper §IV-C, §V-C), and
+* the **egress database** stores only hashes of PCBs to bound its memory
+  footprint while still being able to deduplicate (paper §V-D).
+
+All hashes are SHA-256; the helpers return hex digests so they can be used
+directly as dictionary keys and serialized without further encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def algorithm_hash(payload: bytes) -> str:
+    """Return the hex digest binding an on-demand algorithm payload."""
+    if not isinstance(payload, (bytes, bytearray)):
+        raise TypeError(f"algorithm payload must be bytes, got {type(payload).__name__}")
+    return hashlib.sha256(bytes(payload)).hexdigest()
+
+
+def beacon_digest(encoded_beacon: bytes) -> str:
+    """Return the hex digest of an encoded PCB (used by the egress DB)."""
+    if not isinstance(encoded_beacon, (bytes, bytearray)):
+        raise TypeError(f"encoded beacon must be bytes, got {type(encoded_beacon).__name__}")
+    return hashlib.sha256(bytes(encoded_beacon)).hexdigest()
+
+
+def short_hash(data: bytes, length: int = 12) -> str:
+    """Return a truncated hex digest, handy for logging and display.
+
+    Args:
+        data: Bytes to hash.
+        length: Number of hex characters to keep (must be positive and at
+            most 64, the length of a full SHA-256 hex digest).
+    """
+    if length <= 0 or length > 64:
+        raise ValueError(f"length must be in [1, 64], got {length}")
+    return hashlib.sha256(bytes(data)).hexdigest()[:length]

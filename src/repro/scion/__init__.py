@@ -1,0 +1,14 @@
+"""Legacy SCION control plane (baseline substrate).
+
+IREC replaces the legacy SCION control service inside each AS, and the
+paper benchmarks the two against each other (Figures 6 and 7) and verifies
+that IREC-enabled ASes interoperate with legacy ones on SCIONLab (§VII-B).
+This package provides the legacy control service used for both purposes:
+a single-process beaconing service that selects the 20 shortest paths per
+origin AS, propagates them on every interface and registers them at the
+path service — without RACs, sandboxes or per-criteria optimization.
+"""
+
+from repro.scion.legacy import LegacyControlService, LegacyProcessingReport
+
+__all__ = ["LegacyControlService", "LegacyProcessingReport"]

@@ -1,0 +1,219 @@
+"""The legacy SCION control service.
+
+The legacy control service is the baseline of the paper's micro-benchmarks
+(Figures 6 and 7) and of the backward-compatibility experiment (§VII-B):
+a single process that receives PCBs, stores them, periodically selects the
+20 shortest paths per origin AS, extends and propagates them on every
+interface, and registers them at the path service.  There is no sandbox,
+no gateway ↔ RAC IPC and no per-criteria optimization, which is exactly
+why its per-candidate-set processing latency is much lower than an
+on-demand RAC's for small candidate sets.
+
+The service implements the same transport-facing interface as
+:class:`repro.core.control_service.IrecControlService`, so simulations can
+mix legacy and IREC ASes freely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import CandidateBeacon, ExecutionContext
+from repro.algorithms.shortest_path import KShortestPathAlgorithm, legacy_scion_algorithm
+from repro.core.beacon import Beacon, BeaconBuilder, DEFAULT_VALIDITY_MS
+from repro.core.databases import (
+    IngressDatabase,
+    PathService,
+    RegisteredPath,
+    StoredBeacon,
+)
+from repro.core.ingress import IngressGateway
+from repro.core.local_view import LocalTopologyView
+from repro.core.transport import ControlPlaneTransport
+from repro.crypto.keys import KeyStore
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import UnknownAlgorithmError
+
+
+@dataclass
+class LegacyProcessingReport:
+    """Timing report of one legacy processing round (Figure 6 baseline)."""
+
+    candidates: int = 0
+    selections: int = 0
+    execution_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        """Return the total processing latency (no setup or IPC stages exist)."""
+        return self.execution_ms
+
+    def throughput_pcbs_per_second(self) -> float:
+        """Return the candidate-processing throughput of the round."""
+        if self.execution_ms <= 0.0:
+            return 0.0
+        return self.candidates / (self.execution_ms / 1000.0)
+
+
+class LegacyControlService:
+    """Single-process legacy SCION control service for one AS."""
+
+    def __init__(
+        self,
+        view: LocalTopologyView,
+        key_store: KeyStore,
+        transport: ControlPlaneTransport,
+        paths_per_origin: int = 20,
+        verify_signatures: bool = True,
+        beacon_validity_ms: float = DEFAULT_VALIDITY_MS,
+    ) -> None:
+        self.view = view
+        self.transport = transport
+        self.paths_per_origin = paths_per_origin
+        self.beacon_validity_ms = beacon_validity_ms
+        signer = Signer(as_id=view.as_id, key_store=key_store)
+        self.builder = BeaconBuilder(as_id=view.as_id, signer=signer)
+        self.ingress = IngressGateway(
+            as_id=view.as_id,
+            verifier=Verifier(key_store=key_store),
+            database=IngressDatabase(),
+            verify_signatures=verify_signatures,
+        )
+        self.path_service = PathService(max_paths_per_key=paths_per_origin)
+        self.algorithm: KShortestPathAlgorithm = (
+            legacy_scion_algorithm()
+            if paths_per_origin == 20
+            else KShortestPathAlgorithm(k=paths_per_origin)
+        )
+        self._propagated_digests: dict = {}
+
+    # ------------------------------------------------------------------
+    # transport-facing handlers (same surface as the IREC control service)
+    # ------------------------------------------------------------------
+    @property
+    def as_id(self) -> int:
+        """Return the local AS identifier."""
+        return self.view.as_id
+
+    def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
+        """Handle a PCB delivered by a neighbouring AS."""
+        return self.ingress.receive(beacon, on_interface=on_interface, now_ms=now_ms)
+
+    def receive_returned_beacon(self, beacon: Beacon, now_ms: float) -> None:
+        """Legacy ASes do not use pull-based routing; returned beacons are dropped."""
+
+    def serve_algorithm(self, algorithm_id: str) -> bytes:
+        """Legacy ASes publish no on-demand algorithms."""
+        raise UnknownAlgorithmError(algorithm_id)
+
+    # ------------------------------------------------------------------
+    # beaconing
+    # ------------------------------------------------------------------
+    def originate(self, now_ms: float) -> List[Beacon]:
+        """Originate one beacon per local interface (no extensions)."""
+        originated = []
+        for interface_id in self.view.interface_ids():
+            beacon = self.builder.originate(
+                egress_interface=interface_id,
+                created_at_ms=now_ms,
+                static_info=self.view.static_info_for(None, interface_id),
+                validity_ms=self.beacon_validity_ms,
+            )
+            self.transport.send_beacon(self.as_id, interface_id, beacon)
+            originated.append(beacon)
+        return originated
+
+    def select_paths(
+        self, stored_beacons: Sequence[StoredBeacon]
+    ) -> Tuple[List[StoredBeacon], LegacyProcessingReport]:
+        """Run the legacy selection over a candidate set and time it.
+
+        This is the measured quantity of the Figure-6 baseline: no sandbox
+        setup, no marshalling — just the selection algorithm over the
+        candidates of one origin AS.
+        """
+        report = LegacyProcessingReport(candidates=len(stored_beacons))
+        if not stored_beacons:
+            return [], report
+        candidates = tuple(
+            CandidateBeacon(beacon=s.beacon, ingress_interface=s.received_on_interface)
+            for s in stored_beacons
+        )
+        context = ExecutionContext(
+            local_as=self.as_id,
+            candidates=candidates,
+            # Selection is interface-independent for the legacy algorithm,
+            # so a single representative interface suffices.
+            egress_interfaces=(0,),
+            max_paths_per_interface=self.paths_per_origin,
+            intra_latency_ms=self.view.intra_latency_ms,
+        )
+        start = time.perf_counter()
+        result = self.algorithm.execute(context)
+        report.execution_ms = (time.perf_counter() - start) * 1000.0
+
+        selected_digests = {b.digest() for b in result.beacons_for(0)}
+        by_digest = {s.beacon.digest(): s for s in stored_beacons}
+        selected = [by_digest[d] for d in selected_digests if d in by_digest]
+        selected.sort(key=lambda s: (s.beacon.hop_count, s.beacon.total_latency_ms()))
+        report.selections = len(selected)
+        return selected, report
+
+    def run_round(self, now_ms: float) -> LegacyProcessingReport:
+        """Select, propagate and register paths for every known origin AS."""
+        total = LegacyProcessingReport()
+        database = self.ingress.database
+        for bucket in database.bucket_keys():
+            stored_beacons = database.beacons_in_bucket(bucket)
+            selected, report = self.select_paths(stored_beacons)
+            total.candidates += report.candidates
+            total.selections += report.selections
+            total.execution_ms += report.execution_ms
+            self._propagate(selected)
+            self._register(selected, now_ms)
+        self.ingress.expire(now_ms)
+        self.path_service.remove_expired(now_ms)
+        return total
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _propagate(self, selected: Sequence[StoredBeacon]) -> None:
+        for stored in selected:
+            digest = stored.beacon.digest()
+            sent_on = self._propagated_digests.setdefault(digest, set())
+            for interface_id in self.view.interface_ids():
+                if interface_id in sent_on:
+                    continue
+                neighbor_as, _ = self.view.neighbor_of(interface_id)
+                if stored.beacon.contains_as(neighbor_as):
+                    continue
+                extended = self.builder.extend(
+                    stored.beacon,
+                    ingress_interface=stored.received_on_interface,
+                    egress_interface=interface_id,
+                    static_info=self.view.static_info_for(
+                        stored.received_on_interface, interface_id
+                    ),
+                )
+                self.transport.send_beacon(self.as_id, interface_id, extended)
+                sent_on.add(interface_id)
+
+    def _register(self, selected: Sequence[StoredBeacon], now_ms: float) -> None:
+        for stored in selected:
+            if stored.beacon.origin_as == self.as_id:
+                continue
+            segment = self.builder.terminate(
+                stored.beacon,
+                ingress_interface=stored.received_on_interface,
+                static_info=self.view.static_info_for(stored.received_on_interface, None),
+            )
+            self.path_service.register(
+                RegisteredPath(
+                    segment=segment,
+                    criteria_tags=("legacy",),
+                    registered_at_ms=now_ms,
+                )
+            )

@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate (the ns-3 replacement).
+
+The paper evaluates IREC with an ns-3 based SCION simulator on a 500-AS
+topology.  This package provides the equivalent machinery in pure Python:
+
+* :mod:`repro.simulation.engine` — a deterministic discrete-event scheduler,
+* :mod:`repro.simulation.network` — the simulated control-plane transport
+  that delivers PCBs with per-link propagation delay and records every
+  transmission for the overhead analysis,
+* :mod:`repro.simulation.collector` — per-interface, per-period PCB
+  counters and other measurement hooks,
+* :mod:`repro.simulation.scenario` — declarative description of which
+  algorithms run in which ASes (the paper's 1SP/5SP/HD/DO/PD setups), and
+* :mod:`repro.simulation.beaconing` — the periodic beaconing driver that
+  originates PCBs, delivers them and runs every AS's RACs each period.
+"""
+
+from repro.simulation.beaconing import BeaconingSimulation, SimulationResult
+from repro.simulation.collector import MetricsCollector
+from repro.simulation.engine import EventScheduler
+from repro.simulation.failures import LinkFailureInjector
+from repro.simulation.network import SimulatedTransport
+from repro.simulation.scenario import (
+    AlgorithmSpec,
+    ScenarioConfig,
+    paper_algorithm_suite,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "BeaconingSimulation",
+    "EventScheduler",
+    "LinkFailureInjector",
+    "MetricsCollector",
+    "ScenarioConfig",
+    "SimulatedTransport",
+    "SimulationResult",
+    "paper_algorithm_suite",
+]

@@ -1,0 +1,216 @@
+"""The periodic beaconing driver.
+
+This module glues the topology, the control services and the simulated
+transport into the experiment the paper runs: every AS originates PCBs and
+runs its RACs once per propagation interval (ten simulated minutes), PCBs
+travel with link propagation delays, and after a configurable number of
+periods the registered paths and transmission counts are available for the
+Figure-8 analyses.
+
+The driver also hosts pull-based disjointness orchestrators, advancing them
+after every period so that the PD experiment can run inside the same
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.control_service import ControlServiceConfig, IrecControlService, RoundReport
+from repro.core.local_view import LocalTopologyView
+from repro.core.pull import PullBasedDisjointnessOrchestrator, PullState
+from repro.crypto.keys import KeyStore
+from repro.exceptions import ConfigurationError, UnknownASError
+from repro.scion.legacy import LegacyControlService
+from repro.simulation.collector import MetricsCollector
+from repro.simulation.engine import EventScheduler
+from repro.simulation.network import SimulatedTransport
+from repro.simulation.scenario import ScenarioConfig
+from repro.topology.graph import Topology
+from repro.topology.intra_domain import IntraDomainRegistry
+
+#: A control service of either flavour.
+AnyControlService = Union[IrecControlService, LegacyControlService]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation exposes to the analysis code."""
+
+    topology: Topology
+    services: Dict[int, AnyControlService]
+    collector: MetricsCollector
+    round_reports: List[RoundReport] = field(default_factory=list)
+    periods_run: int = 0
+    final_time_ms: float = 0.0
+
+    def service(self, as_id: int) -> AnyControlService:
+        """Return the control service of ``as_id``."""
+        try:
+            return self.services[as_id]
+        except KeyError:
+            raise UnknownASError(as_id) from None
+
+    def registered_paths(self, at_as: int, origin_as: int):
+        """Return the paths registered at ``at_as`` towards ``origin_as``."""
+        return self.service(at_as).path_service.paths_to(origin_as)
+
+
+class BeaconingSimulation:
+    """Drives periodic beaconing over a topology according to a scenario."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scenario: ScenarioConfig,
+        key_store: Optional[KeyStore] = None,
+        intra_domain: Optional[IntraDomainRegistry] = None,
+    ) -> None:
+        self.topology = topology
+        self.scenario = scenario
+        self.key_store = key_store or KeyStore()
+        self.intra_domain = intra_domain or IntraDomainRegistry()
+        self.scheduler = EventScheduler()
+        self.collector = MetricsCollector(period_ms=scenario.propagation_interval_ms)
+        self.transport = SimulatedTransport(
+            topology=topology,
+            scheduler=self.scheduler,
+            collector=self.collector,
+            processing_delay_ms=scenario.processing_delay_ms,
+        )
+        self.services: Dict[int, AnyControlService] = {}
+        self.orchestrators: List[PullBasedDisjointnessOrchestrator] = []
+        self.round_reports: List[RoundReport] = []
+        self._periods_run = 0
+        self._build_services()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_services(self) -> None:
+        legacy_set = set(self.scenario.legacy_ases)
+        for as_info in self.topology:
+            view = LocalTopologyView.from_topology(
+                self.topology,
+                as_info.as_id,
+                intra_domain=self.intra_domain.model_for(as_info),
+            )
+            if as_info.as_id in legacy_set:
+                service: AnyControlService = LegacyControlService(
+                    view=view,
+                    key_store=self.key_store,
+                    transport=self.transport,
+                    verify_signatures=self.scenario.verify_signatures,
+                )
+            else:
+                service = IrecControlService(
+                    view=view,
+                    key_store=self.key_store,
+                    transport=self.transport,
+                    grouping_policy=self.scenario.grouping_policy,
+                    config=ControlServiceConfig(
+                        verify_signatures=self.scenario.verify_signatures,
+                    ),
+                )
+                for spec in self.scenario.algorithms:
+                    if spec.on_demand:
+                        service.add_on_demand_rac(
+                            rac_id=spec.rac_id,
+                            max_paths_per_interface=spec.max_paths_per_interface,
+                            registration_limit=spec.registration_limit,
+                        )
+                    else:
+                        assert spec.factory is not None  # validated by AlgorithmSpec
+                        service.add_static_rac(
+                            rac_id=spec.rac_id,
+                            algorithm=spec.factory(),
+                            max_paths_per_interface=spec.max_paths_per_interface,
+                            registration_limit=spec.registration_limit,
+                            use_interface_groups=spec.use_interface_groups,
+                            use_targets=spec.use_targets,
+                        )
+            self.services[as_info.as_id] = service
+            self.transport.register(service)
+
+    # ------------------------------------------------------------------
+    # orchestrators (pull-based disjointness)
+    # ------------------------------------------------------------------
+    def add_pull_disjointness(
+        self,
+        origin_as: int,
+        target_as: int,
+        desired_paths: int = 20,
+        seed_paths: Sequence = (),
+    ) -> PullBasedDisjointnessOrchestrator:
+        """Attach a PD orchestrator at ``origin_as`` towards ``target_as``."""
+        service = self.services.get(origin_as)
+        if not isinstance(service, IrecControlService):
+            raise ConfigurationError(
+                f"AS {origin_as} does not run IREC and cannot originate pull-based beacons"
+            )
+        orchestrator = PullBasedDisjointnessOrchestrator(
+            service=service,
+            target_as=target_as,
+            desired_paths=desired_paths,
+            seed_paths=tuple(seed_paths),
+        )
+        self.orchestrators.append(orchestrator)
+        return orchestrator
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_period(self) -> List[RoundReport]:
+        """Run one complete beaconing period.
+
+        The period consists of: origination at every AS, delivery of all
+        in-flight PCBs (their latencies are tiny compared to the period),
+        one RAC round at every AS, another delivery phase so that freshly
+        propagated PCBs reach their neighbours before the period ends, and
+        finally an advancement step for every pull orchestrator.
+        """
+        period_start_ms = self._periods_run * self.scenario.propagation_interval_ms
+        mid_period_ms = period_start_ms + self.scenario.propagation_interval_ms / 2.0
+        period_end_ms = period_start_ms + self.scenario.propagation_interval_ms
+
+        self.scheduler.run_until(period_start_ms)
+        for service in self._services_in_order():
+            service.originate(now_ms=self.scheduler.now_ms)
+        self.scheduler.run_until(mid_period_ms)
+
+        reports: List[RoundReport] = []
+        for service in self._services_in_order():
+            report = service.run_round(now_ms=self.scheduler.now_ms)
+            if isinstance(report, RoundReport):
+                reports.append(report)
+        self.scheduler.run_until(period_end_ms)
+
+        for orchestrator in self.orchestrators:
+            if orchestrator.state is PullState.IDLE:
+                orchestrator.start(now_ms=self.scheduler.now_ms)
+            else:
+                orchestrator.advance(now_ms=self.scheduler.now_ms)
+
+        self.round_reports.extend(reports)
+        self._periods_run += 1
+        return reports
+
+    def run(self, periods: Optional[int] = None) -> SimulationResult:
+        """Run ``periods`` beaconing periods (default: the scenario's count)."""
+        total = periods if periods is not None else self.scenario.periods
+        for _ in range(total):
+            self.run_period()
+        # Flush any remaining in-flight deliveries.
+        self.scheduler.run_until(self._periods_run * self.scenario.propagation_interval_ms + 1.0)
+        return SimulationResult(
+            topology=self.topology,
+            services=dict(self.services),
+            collector=self.collector,
+            round_reports=list(self.round_reports),
+            periods_run=self._periods_run,
+            final_time_ms=self.scheduler.now_ms,
+        )
+
+    def _services_in_order(self) -> List[AnyControlService]:
+        return [self.services[as_id] for as_id in sorted(self.services)]

@@ -1,0 +1,90 @@
+"""Measurement collection for the large-scale simulations.
+
+The collector records every control-plane transmission: which AS sent a PCB
+over which interface during which beaconing period.  Those counts are the
+raw material of Figure 8c ("PCBs per interface per period") and of the
+general message-complexity discussion in §VIII-C.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.entities import InterfaceID
+
+
+@dataclass
+class MetricsCollector:
+    """Per-interface, per-period transmission counters.
+
+    Attributes:
+        period_ms: Length of one beaconing period; transmissions are binned
+            by ``floor(time / period_ms)``.
+    """
+
+    period_ms: float = 600_000.0
+    _counts: Dict[Tuple[InterfaceID, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    _returned: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _fetches: int = 0
+    total_sent: int = 0
+
+    def record_send(self, sender_as: int, interface_id: int, time_ms: float) -> None:
+        """Record one PCB transmission."""
+        period = int(time_ms // self.period_ms)
+        self._counts[((sender_as, interface_id), period)] += 1
+        self.total_sent += 1
+
+    def record_return(self, sender_as: int, time_ms: float) -> None:
+        """Record one pull-based beacon returned to its origin."""
+        period = int(time_ms // self.period_ms)
+        self._returned[period] += 1
+
+    def record_algorithm_fetch(self) -> None:
+        """Record one remote algorithm payload fetch."""
+        self._fetches += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def pcbs_per_interface_per_period(self) -> List[int]:
+        """Return the flat list of per-(interface, period) PCB counts.
+
+        Interfaces that sent nothing during a period do not contribute an
+        entry, matching how the paper reports the distribution (the x axis
+        starts at one PCB).
+        """
+        return sorted(self._counts.values())
+
+    def count_for(self, interface: InterfaceID, period: int) -> int:
+        """Return the transmissions of ``interface`` during ``period``."""
+        return self._counts.get((interface, period), 0)
+
+    def per_interface_totals(self) -> Dict[InterfaceID, int]:
+        """Return total transmissions per interface across all periods."""
+        totals: Dict[InterfaceID, int] = defaultdict(int)
+        for (interface, _period), count in self._counts.items():
+            totals[interface] += count
+        return dict(totals)
+
+    def periods_observed(self) -> int:
+        """Return the number of distinct periods with at least one send."""
+        return len({period for (_interface, period) in self._counts})
+
+    def returned_beacons(self) -> int:
+        """Return the total number of pull-based returns recorded."""
+        return sum(self._returned.values())
+
+    def algorithm_fetches(self) -> int:
+        """Return the total number of remote payload fetches recorded."""
+        return self._fetches
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts.clear()
+        self._returned.clear()
+        self._fetches = 0
+        self.total_sent = 0

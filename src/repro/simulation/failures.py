@@ -1,0 +1,89 @@
+"""Link-failure injection.
+
+The disjointness evaluation (Figure 8b) argues that a path set with a high
+tolerable-link-failure count keeps the pair connected under failures.  This
+module closes the loop: it removes concrete links from a topology, checks
+which registered paths survive, and verifies the TLF prediction empirically
+— the failure-injection counterpart used by tests and the disjointness
+example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.beacon import Beacon
+from repro.exceptions import SimulationError
+from repro.topology.entities import LinkID, normalize_link_id
+from repro.topology.graph import Topology
+
+
+@dataclass
+class LinkFailureInjector:
+    """Tracks a set of failed inter-domain links."""
+
+    topology: Topology
+    _failed: Set[LinkID] = field(default_factory=set)
+
+    def fail_link(self, link_id: LinkID) -> None:
+        """Mark one link as failed.
+
+        Raises:
+            SimulationError: If the link does not exist in the topology.
+        """
+        normalised = normalize_link_id(*link_id)
+        if normalised not in self.topology.links:
+            raise SimulationError(f"cannot fail unknown link {link_id}")
+        self._failed.add(normalised)
+
+    def fail_random_links(self, count: int, rng: Optional[random.Random] = None) -> List[LinkID]:
+        """Fail ``count`` uniformly chosen distinct links; return them."""
+        if count < 0:
+            raise SimulationError(f"count must be non-negative, got {count}")
+        rng = rng or random.Random(0)
+        candidates = [link for link in sorted(self.topology.links) if link not in self._failed]
+        chosen = rng.sample(candidates, k=min(count, len(candidates)))
+        for link in chosen:
+            self._failed.add(link)
+        return chosen
+
+    def restore_all(self) -> None:
+        """Clear every failure."""
+        self._failed.clear()
+
+    @property
+    def failed_links(self) -> Set[LinkID]:
+        """Return the currently failed links."""
+        return set(self._failed)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def path_survives(self, path_links: Iterable[LinkID]) -> bool:
+        """Return whether a path avoiding every failed link."""
+        return not any(normalize_link_id(*link) in self._failed for link in path_links)
+
+    def surviving_paths(self, segments: Sequence[Beacon]) -> List[Beacon]:
+        """Return the segments whose links all survived."""
+        return [segment for segment in segments if self.path_survives(segment.links())]
+
+    def pair_still_connected(self, segments: Sequence[Beacon]) -> bool:
+        """Return whether at least one of the segments survives the failures."""
+        return bool(self.surviving_paths(segments))
+
+
+def minimum_failures_to_disconnect(
+    segments: Sequence[Beacon], source_as: int, destination_as: int
+) -> int:
+    """Empirical counterpart of the TLF metric.
+
+    Convenience wrapper re-exporting the min-cut computation of
+    :func:`repro.analysis.disjointness_eval.tolerable_link_failures` on
+    beacon segments, so failure-injection tests can compare "predicted TLF"
+    with "failures actually needed to disconnect".
+    """
+    from repro.analysis.disjointness_eval import tolerable_link_failures
+
+    return tolerable_link_failures([s.links() for s in segments], source_as, destination_as)

@@ -1,0 +1,104 @@
+"""The simulated control-plane transport.
+
+Implements :class:`repro.core.transport.ControlPlaneTransport` on top of the
+discrete-event scheduler: PCBs sent over a link are delivered to the far
+end's control service after the link's propagation delay (plus a small
+configurable processing overhead), returned pull beacons travel back to
+their origin with the accumulated latency of the path they describe, and
+algorithm fetches cost one round trip over that same path.  Every
+transmission is reported to the :class:`MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.beacon import Beacon
+from repro.core.transport import ControlPlaneTransport
+from repro.exceptions import SimulationError, UnknownASError
+from repro.simulation.collector import MetricsCollector
+from repro.simulation.engine import EventScheduler
+from repro.topology.graph import Topology
+
+
+@dataclass
+class SimulatedTransport:
+    """Scheduler-driven transport between control services.
+
+    Attributes:
+        topology: The global topology (used to resolve links and delays).
+        scheduler: The discrete-event scheduler driving delivery.
+        collector: Transmission counters for the overhead evaluation.
+        processing_delay_ms: Fixed per-hop control-plane processing delay
+            added to the link propagation delay.
+        deliver_immediately: When set, messages are delivered synchronously
+            instead of being scheduled; used by tests that do not care about
+            timing.
+    """
+
+    topology: Topology
+    scheduler: EventScheduler
+    collector: MetricsCollector = field(default_factory=MetricsCollector)
+    processing_delay_ms: float = 1.0
+    deliver_immediately: bool = False
+    services: Dict[int, object] = field(default_factory=dict)
+
+    def register(self, service: object) -> None:
+        """Register a control service under its AS identifier."""
+        self.services[service.as_id] = service
+
+    def service_of(self, as_id: int) -> object:
+        """Return the registered control service of ``as_id``."""
+        service = self.services.get(as_id)
+        if service is None:
+            raise UnknownASError(as_id)
+        return service
+
+    # ------------------------------------------------------------------
+    # ControlPlaneTransport implementation
+    # ------------------------------------------------------------------
+    def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
+        """Deliver ``beacon`` to the AS at the far end of the egress link."""
+        link = self.topology.link_of_interface((sender_as, egress_interface))
+        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
+        receiver = self.service_of(remote_as)
+        self.collector.record_send(sender_as, egress_interface, self.scheduler.now_ms)
+
+        delay_ms = link.latency_ms + self.processing_delay_ms
+
+        def deliver(now_ms: float, _receiver=receiver, _beacon=beacon, _interface=remote_interface):
+            _receiver.receive_beacon(_beacon, on_interface=_interface, now_ms=now_ms)
+
+        if self.deliver_immediately:
+            deliver(self.scheduler.now_ms + delay_ms)
+        else:
+            self.scheduler.schedule_in(delay_ms, deliver)
+
+    def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
+        """Return a terminated pull beacon to its origin over the beacon's path."""
+        origin = self.service_of(beacon.origin_as)
+        self.collector.record_return(sender_as, self.scheduler.now_ms)
+        delay_ms = beacon.total_latency_ms() + self.processing_delay_ms
+
+        def deliver(now_ms: float, _origin=origin, _beacon=beacon):
+            _origin.receive_returned_beacon(_beacon, now_ms=now_ms)
+
+        if self.deliver_immediately:
+            deliver(self.scheduler.now_ms + delay_ms)
+        else:
+            self.scheduler.schedule_in(delay_ms, deliver)
+
+    def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
+        """Fetch an on-demand payload from the origin AS's control service.
+
+        The fetch is synchronous (the RAC blocks on it), but the collector
+        records it so benchmarks can report fetch counts and the caching
+        behaviour.
+        """
+        origin = self.service_of(origin_as)
+        self.collector.record_algorithm_fetch()
+        serve = getattr(origin, "serve_algorithm", None)
+        if serve is None:
+            raise SimulationError(f"AS {origin_as} cannot serve on-demand algorithms")
+        return serve(algorithm_id)

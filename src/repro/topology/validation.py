@@ -1,0 +1,125 @@
+"""Topology consistency validation.
+
+Generated or imported topologies feed every other subsystem, so this module
+provides a single place that checks the invariants the rest of the library
+assumes: every interface is attached to exactly one link, link endpoints
+reference existing interfaces, latencies are consistent with the endpoint
+geolocations, relationships are well-formed, and (optionally) the AS graph
+is connected.  The generator tests and the CAIDA importer use it, and users
+loading their own data are encouraged to run it once at startup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.topology.geo import propagation_delay_ms
+from repro.topology.graph import Topology
+
+#: Tolerated relative deviation between a link's annotated latency and the
+#: great-circle estimate derived from its endpoint locations.  Real links
+#: are never faster than the geodesic but may be considerably slower (fibre
+#: detours), so only the lower bound is enforced strictly.
+GEODESIC_SLACK = 0.25
+
+
+@dataclass
+class ValidationIssue:
+    """One problem found during validation."""
+
+    severity: str  # "error" or "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return f"[{self.severity}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """The collected findings of one validation run."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    def add_error(self, message: str) -> None:
+        """Record an error-level issue."""
+        self.issues.append(ValidationIssue(severity="error", message=message))
+
+    def add_warning(self, message: str) -> None:
+        """Record a warning-level issue."""
+        self.issues.append(ValidationIssue(severity="warning", message=message))
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        """Return only the error-level issues."""
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        """Return only the warning-level issues."""
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def is_valid(self) -> bool:
+        """Return whether no error-level issues were found."""
+        return not self.errors
+
+
+def validate_topology(topology: Topology, require_connected: bool = True) -> ValidationReport:
+    """Check the structural invariants of ``topology``.
+
+    Args:
+        topology: The topology to validate.
+        require_connected: Whether a disconnected AS graph is an error
+            (default) or merely a warning.
+
+    Returns:
+        A :class:`ValidationReport`; callers typically assert
+        ``report.is_valid`` and log the warnings.
+    """
+    report = ValidationReport()
+
+    attached = set()
+    for link in topology.links.values():
+        for endpoint in (link.interface_a, link.interface_b):
+            as_id, interface_id = endpoint
+            if as_id not in topology:
+                report.add_error(f"link {link.key} references unknown AS {as_id}")
+                continue
+            if interface_id not in topology.as_info(as_id).interfaces:
+                report.add_error(
+                    f"link {link.key} references unknown interface {endpoint}"
+                )
+                continue
+            attached.add(endpoint)
+
+        # Latency must not undercut the geodesic propagation delay.
+        location_a = topology.interface(link.interface_a).location
+        location_b = topology.interface(link.interface_b).location
+        geodesic = propagation_delay_ms(location_a, location_b)
+        if geodesic > 0.0 and link.latency_ms < geodesic * (1.0 - GEODESIC_SLACK):
+            report.add_error(
+                f"link {link.key} is faster than light: {link.latency_ms:.3f} ms over a "
+                f"{geodesic:.3f} ms geodesic"
+            )
+        if link.latency_ms > max(1.0, geodesic) * 50.0:
+            report.add_warning(
+                f"link {link.key} latency {link.latency_ms:.1f} ms is implausibly high "
+                f"for its endpoint distance"
+            )
+
+    for as_info in topology:
+        if as_info.degree == 0:
+            report.add_warning(f"AS {as_info.as_id} has no interfaces")
+        for interface in as_info:
+            if interface.key not in attached:
+                report.add_warning(
+                    f"interface {interface.key} is not attached to any link"
+                )
+
+    if topology.num_ases > 1 and not topology.is_connected():
+        if require_connected:
+            report.add_error("the AS-level graph is not connected")
+        else:
+            report.add_warning("the AS-level graph is not connected")
+    return report

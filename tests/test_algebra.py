@@ -1,0 +1,167 @@
+"""Tests for the routing algebra: metrics, path vectors, dominance, isotonicity."""
+
+import math
+
+import pytest
+
+from repro.core.algebra import (
+    Accumulation,
+    BANDWIDTH,
+    HOP_COUNT,
+    LATENCY,
+    MetricDefinition,
+    Objective,
+    PathVector,
+    RELIABILITY,
+    is_isotone,
+    lexicographic_compare,
+    pareto_frontier,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestMetricDefinition:
+    def test_identities(self):
+        assert LATENCY.identity == 0.0
+        assert BANDWIDTH.identity == math.inf
+        assert RELIABILITY.identity == 1.0
+
+    def test_combination(self):
+        assert LATENCY.combine(10.0, 5.0) == 15.0
+        assert BANDWIDTH.combine(100.0, 40.0) == 40.0
+        assert RELIABILITY.combine(0.9, 0.5) == pytest.approx(0.45)
+
+    def test_preference(self):
+        assert LATENCY.prefers(5.0, 10.0)
+        assert not LATENCY.prefers(10.0, 5.0)
+        assert BANDWIDTH.prefers(100.0, 40.0)
+        assert LATENCY.at_least_as_good(5.0, 5.0)
+
+    def test_best(self):
+        assert LATENCY.best([3.0, 1.0, 2.0]) == 1.0
+        assert BANDWIDTH.best([3.0, 1.0, 2.0]) == 3.0
+        with pytest.raises(AlgebraError):
+            LATENCY.best([])
+
+    def test_sort_key_orders_best_first(self):
+        values = [5.0, 1.0, 3.0]
+        assert sorted(values, key=LATENCY.sort_key()) == [1.0, 3.0, 5.0]
+        assert sorted(values, key=BANDWIDTH.sort_key()) == [5.0, 3.0, 1.0]
+
+
+class TestPathVector:
+    def test_empty_vector_uses_identities(self):
+        vector = PathVector.empty([LATENCY, BANDWIDTH])
+        assert vector.value_of(LATENCY) == 0.0
+        assert vector.value_of(BANDWIDTH) == math.inf
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AlgebraError):
+            PathVector(metrics=(LATENCY,), values=(1.0, 2.0))
+
+    def test_extension(self):
+        vector = PathVector.empty([LATENCY, BANDWIDTH])
+        extended = vector.extend({LATENCY: 10.0, BANDWIDTH: 100.0})
+        extended = extended.extend({LATENCY: 5.0, BANDWIDTH: 50.0})
+        assert extended.value_of(LATENCY) == 15.0
+        assert extended.value_of(BANDWIDTH) == 50.0
+
+    def test_extension_requires_all_metrics(self):
+        vector = PathVector.empty([LATENCY, BANDWIDTH])
+        with pytest.raises(AlgebraError):
+            vector.extend({LATENCY: 10.0})
+
+    def test_value_of_unknown_metric(self):
+        vector = PathVector.empty([LATENCY])
+        with pytest.raises(AlgebraError):
+            vector.value_of(BANDWIDTH)
+
+    def test_dominance(self):
+        better = PathVector.of({LATENCY: 10.0, BANDWIDTH: 100.0})
+        worse = PathVector.of({LATENCY: 20.0, BANDWIDTH: 50.0})
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_incomparability(self):
+        low_latency = PathVector.of({LATENCY: 10.0, BANDWIDTH: 50.0})
+        high_bandwidth = PathVector.of({LATENCY: 20.0, BANDWIDTH: 100.0})
+        assert low_latency.incomparable_with(high_bandwidth)
+        assert not low_latency.dominates(high_bandwidth)
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = PathVector.of({LATENCY: 10.0})
+        b = PathVector.of({LATENCY: 10.0})
+        assert not a.dominates(b)
+        assert not a.incomparable_with(b)
+
+    def test_signature_mismatch(self):
+        a = PathVector.of({LATENCY: 10.0})
+        b = PathVector.of({BANDWIDTH: 10.0})
+        with pytest.raises(AlgebraError):
+            a.dominates(b)
+
+    def test_as_dict(self):
+        vector = PathVector.of({LATENCY: 10.0, BANDWIDTH: 100.0})
+        assert vector.as_dict() == {"latency_ms": 10.0, "bandwidth_mbps": 100.0}
+
+
+class TestParetoFrontier:
+    def test_dominated_entries_removed(self):
+        entries = [
+            ("a", PathVector.of({LATENCY: 10.0, BANDWIDTH: 100.0})),
+            ("b", PathVector.of({LATENCY: 20.0, BANDWIDTH: 50.0})),  # dominated by a
+            ("c", PathVector.of({LATENCY: 5.0, BANDWIDTH: 20.0})),
+        ]
+        frontier = pareto_frontier(entries)
+        labels = [label for label, _vector in frontier]
+        assert labels == ["a", "c"]
+
+    def test_all_incomparable_kept(self):
+        entries = [
+            ("a", PathVector.of({LATENCY: 10.0, BANDWIDTH: 10.0})),
+            ("b", PathVector.of({LATENCY: 20.0, BANDWIDTH: 20.0})),
+        ]
+        assert len(pareto_frontier(entries)) == 2
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+
+class TestIsotonicity:
+    def test_additive_metric_is_isotone(self):
+        assert is_isotone(LATENCY, [10.0, 20.0, 30.0], [0.0, 5.0, 100.0])
+
+    def test_bottleneck_metric_is_isotone(self):
+        assert is_isotone(BANDWIDTH, [10.0, 20.0, 30.0], [5.0, 25.0, 100.0])
+
+    def test_requires_two_path_values(self):
+        with pytest.raises(AlgebraError):
+            is_isotone(LATENCY, [1.0], [1.0])
+
+    def test_custom_non_isotone_metric_detected(self):
+        # A metric that keeps only the last hop value is not isotone.
+        last_hop = MetricDefinition(
+            name="last-hop", accumulation=Accumulation.BOTTLENECK, objective=Objective.MINIMIZE
+        )
+        # With bottleneck-minimize semantics, extending with a very small hop
+        # value makes previously different paths equal -> still isotone;
+        # verify the helper reports True here, and use it to document why the
+        # Figure-4 situation needs *different* extension values per path.
+        assert is_isotone(last_hop, [10.0, 20.0], [1.0])
+
+
+class TestLexicographic:
+    def test_first_metric_dominates(self):
+        result = lexicographic_compare([BANDWIDTH, LATENCY], (100.0, 50.0), (50.0, 10.0))
+        assert result == -1
+
+    def test_tie_broken_by_second(self):
+        result = lexicographic_compare([BANDWIDTH, LATENCY], (100.0, 50.0), (100.0, 10.0))
+        assert result == 1
+
+    def test_equality(self):
+        assert lexicographic_compare([LATENCY], (5.0,), (5.0,)) == 0
+
+    def test_size_mismatch(self):
+        with pytest.raises(AlgebraError):
+            lexicographic_compare([LATENCY], (1.0, 2.0), (1.0,))

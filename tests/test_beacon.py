@@ -1,0 +1,163 @@
+"""Tests for PCBs: construction, extension, metrics, signatures, expiry."""
+
+import pytest
+
+from repro.core.beacon import Beacon, BeaconBuilder, dedupe_beacons, beacons_per_origin
+from repro.core.extensions import ExtensionSet
+from repro.core.staticinfo import StaticInfo
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import BeaconError, LoopError, SignatureError
+
+from tests.conftest import make_beacon
+
+
+class TestOrigination:
+    def test_origin_beacon_shape(self, key_store):
+        builder = BeaconBuilder(as_id=1, signer=Signer(as_id=1, key_store=key_store))
+        beacon = builder.originate(egress_interface=2, created_at_ms=100.0)
+        assert beacon.origin_as == 1
+        assert beacon.hop_count == 1
+        assert beacon.origin_interface == 2
+        assert beacon.last_as == 1
+        assert not beacon.is_terminated
+
+    def test_origin_signature_verifies(self, key_store):
+        builder = BeaconBuilder(as_id=1, signer=Signer(as_id=1, key_store=key_store))
+        beacon = builder.originate(egress_interface=2, created_at_ms=0.0)
+        beacon.verify(Verifier(key_store=key_store))
+
+
+class TestExtension:
+    def test_extension_appends_hop(self, key_store):
+        beacon = make_beacon(key_store, [(1, None, 1), (2, 1, 2), (3, 1, 2)])
+        assert beacon.as_path() == (1, 2, 3)
+        assert beacon.hop_count == 3
+        assert beacon.last_as == 3
+
+    def test_loop_rejected(self, key_store, beacon_factory):
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2)])
+        builder = BeaconBuilder(as_id=1, signer=Signer(as_id=1, key_store=key_store))
+        with pytest.raises(LoopError):
+            builder.extend(beacon, ingress_interface=3, egress_interface=4)
+
+    def test_terminated_beacon_cannot_be_extended(self, key_store, beacon_factory):
+        beacon = beacon_factory([(1, None, 1), (2, 1, None)])
+        assert beacon.is_terminated
+        builder = BeaconBuilder(as_id=3, signer=Signer(as_id=3, key_store=key_store))
+        with pytest.raises(BeaconError):
+            builder.extend(beacon, ingress_interface=1, egress_interface=2)
+
+    def test_signature_chain_verifies_after_extension(self, key_store, beacon_factory):
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2), (3, 2, None)])
+        beacon.verify(Verifier(key_store=key_store))
+
+    def test_tampering_breaks_verification(self, key_store, beacon_factory):
+        import dataclasses
+
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2)])
+        tampered_entry = dataclasses.replace(beacon.entries[0], egress_interface=9)
+        tampered = dataclasses.replace(beacon, entries=(tampered_entry, beacon.entries[1]))
+        with pytest.raises(SignatureError):
+            tampered.verify(Verifier(key_store=key_store))
+
+
+class TestMetrics:
+    def test_latency_accumulates_links_and_intra(self, key_store):
+        beacon = make_beacon(
+            key_store,
+            [(1, None, 1), (2, 1, 2), (3, 1, None)],
+            link_latencies=[10.0, 20.0, 0.0],
+            intra_latencies=[0.0, 5.0, 0.0],
+        )
+        assert beacon.total_latency_ms() == pytest.approx(35.0)
+
+    def test_bottleneck_bandwidth(self, key_store):
+        beacon = make_beacon(
+            key_store,
+            [(1, None, 1), (2, 1, 2), (3, 1, 2)],
+            link_bandwidths=[1000.0, 200.0, 800.0],
+        )
+        assert beacon.bottleneck_bandwidth_mbps() == 200.0
+
+    def test_bandwidth_of_terminal_only_origin(self, key_store):
+        builder = BeaconBuilder(as_id=1, signer=Signer(as_id=1, key_store=key_store))
+        beacon = builder.originate(
+            egress_interface=1, created_at_ms=0.0, static_info=StaticInfo()
+        )
+        assert beacon.bottleneck_bandwidth_mbps() == float("inf")
+
+    def test_links_between_consecutive_entries(self, key_store):
+        beacon = make_beacon(key_store, [(1, None, 7), (2, 3, 5), (3, 9, None)])
+        assert beacon.links() == (((1, 7), (2, 3)), ((2, 5), (3, 9)))
+
+    def test_interfaces_listing(self, key_store):
+        beacon = make_beacon(key_store, [(1, None, 7), (2, 3, 5)])
+        assert (1, 7) in beacon.interfaces()
+        assert (2, 3) in beacon.interfaces()
+        assert (2, 5) in beacon.interfaces()
+
+
+class TestLifetimeAndEncoding:
+    def test_expiry(self, key_store):
+        beacon = make_beacon(key_store, [(1, None, 1)], validity_ms=1000.0)
+        assert not beacon.is_expired(500.0)
+        assert beacon.is_expired(1000.0)
+        assert beacon.expires_at_ms() == 1000.0
+
+    def test_digest_changes_with_content(self, key_store, beacon_factory):
+        a = beacon_factory([(1, None, 1), (2, 1, 2)])
+        b = beacon_factory([(1, None, 1), (2, 1, 3)])
+        assert a.digest() != b.digest()
+
+    def test_encode_is_deterministic(self, key_store, beacon_factory):
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2)])
+        assert beacon.encode() == beacon.encode()
+
+    def test_contains_as(self, key_store, beacon_factory):
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2)])
+        assert beacon.contains_as(1)
+        assert beacon.contains_as(2)
+        assert not beacon.contains_as(3)
+
+    def test_empty_beacon_rejected_by_last_entry(self):
+        beacon = Beacon(origin_as=1, created_at_ms=0.0, entries=())
+        with pytest.raises(BeaconError):
+            _ = beacon.last_entry
+        with pytest.raises(BeaconError):
+            beacon.verify(Verifier.__new__(Verifier))  # never reaches the verifier
+
+
+class TestExtensionsOnBeacons:
+    def test_target_and_algorithm_accessors(self, key_store):
+        extensions = ExtensionSet().with_target(9).with_algorithm("algo", "ff" * 32)
+        beacon = make_beacon(key_store, [(1, None, 1)], extensions=extensions)
+        assert beacon.target_as == 9
+        assert beacon.algorithm_id == "algo"
+        assert beacon.interface_group_id is None
+
+    def test_interface_group_accessor(self, key_store):
+        extensions = ExtensionSet().with_interface_group(3)
+        beacon = make_beacon(key_store, [(1, None, 1)], extensions=extensions)
+        assert beacon.interface_group_id == 3
+
+    def test_extensions_covered_by_signature(self, key_store):
+        import dataclasses
+
+        extensions = ExtensionSet().with_target(9)
+        beacon = make_beacon(key_store, [(1, None, 1)], extensions=extensions)
+        stripped = dataclasses.replace(beacon, extensions=ExtensionSet())
+        with pytest.raises(SignatureError):
+            stripped.verify(Verifier(key_store=key_store))
+
+
+class TestHelpers:
+    def test_dedupe_beacons(self, key_store, beacon_factory):
+        a = beacon_factory([(1, None, 1), (2, 1, 2)])
+        b = beacon_factory([(1, None, 1), (3, 1, 2)])
+        assert dedupe_beacons([a, a, b, a]) == [a, b]
+
+    def test_beacons_per_origin(self, key_store, beacon_factory):
+        a = beacon_factory([(1, None, 1), (2, 1, 2)])
+        b = beacon_factory([(5, None, 1), (2, 1, 2)])
+        grouped = beacons_per_origin([a, b])
+        assert set(grouped) == {1, 5}

@@ -1,0 +1,225 @@
+"""Tests for criteria, criteria sets and metric extraction from beacons."""
+
+import pytest
+
+from repro.core.algebra import BANDWIDTH, HOP_COUNT, LATENCY, Accumulation, MetricDefinition, Objective
+from repro.core.criteria import (
+    Composition,
+    Constraint,
+    CriteriaSet,
+    Criterion,
+    StandardMetrics,
+    fewest_hops,
+    highest_bandwidth,
+    latency_bandwidth_pareto,
+    lowest_latency,
+    shortest_widest,
+    widest_with_latency_bound,
+)
+from repro.exceptions import AlgebraError, ConfigurationError
+
+from tests.conftest import make_beacon
+
+
+@pytest.fixture
+def three_beacons(key_store):
+    """Three beacons: fast/narrow, slow/wide, and balanced."""
+    fast = make_beacon(
+        key_store,
+        [(1, None, 1), (2, 1, 2)],
+        link_latencies=[10.0, 10.0],
+        link_bandwidths=[100.0, 100.0],
+    )
+    wide = make_beacon(
+        key_store,
+        [(1, None, 1), (4, 1, 2), (5, 1, 2), (6, 1, 2)],
+        link_latencies=[10.0, 10.0, 10.0, 10.0],
+        link_bandwidths=[10_000.0, 10_000.0, 10_000.0, 10_000.0],
+    )
+    balanced = make_beacon(
+        key_store,
+        [(1, None, 1), (4, 1, 3), (5, 1, 3)],
+        link_latencies=[10.0, 10.0, 10.0],
+        link_bandwidths=[1_000.0, 1_000.0, 1_000.0],
+    )
+    return fast, wide, balanced
+
+
+class TestStandardMetrics:
+    def test_extraction(self, three_beacons):
+        fast, wide, _balanced = three_beacons
+        assert StandardMetrics.extract(LATENCY, fast) == pytest.approx(20.0)
+        assert StandardMetrics.extract(HOP_COUNT, fast) == 2.0
+        assert StandardMetrics.extract(BANDWIDTH, wide) == 10_000.0
+
+    def test_unknown_metric_rejected(self, three_beacons):
+        unknown = MetricDefinition(
+            name="jitter", accumulation=Accumulation.ADDITIVE, objective=Objective.MINIMIZE
+        )
+        with pytest.raises(AlgebraError):
+            StandardMetrics.extract(unknown, three_beacons[0])
+
+    def test_register_new_metric(self, three_beacons):
+        new_metric = MetricDefinition(
+            name="as-path-cube", accumulation=Accumulation.ADDITIVE, objective=Objective.MINIMIZE
+        )
+        StandardMetrics.register(new_metric, lambda beacon: float(beacon.hop_count) ** 3)
+        assert StandardMetrics.extract(new_metric, three_beacons[0]) == 8.0
+        with pytest.raises(AlgebraError):
+            StandardMetrics.register(new_metric, lambda beacon: 0.0)
+
+    def test_vector_for(self, three_beacons):
+        vector = StandardMetrics.vector_for([LATENCY, BANDWIDTH], three_beacons[0])
+        assert vector.value_of(LATENCY) == pytest.approx(20.0)
+
+    def test_known_metrics_contains_standards(self):
+        names = StandardMetrics.known_metrics()
+        assert "latency_ms" in names
+        assert "bandwidth_mbps" in names
+
+
+class TestConstraint:
+    def test_needs_a_bound(self):
+        with pytest.raises(ConfigurationError):
+            Constraint(metric=LATENCY)
+
+    def test_maximum(self):
+        constraint = Constraint(metric=LATENCY, maximum=30.0)
+        assert constraint.satisfied_by(30.0)
+        assert not constraint.satisfied_by(31.0)
+
+    def test_minimum(self):
+        constraint = Constraint(metric=BANDWIDTH, minimum=100.0)
+        assert constraint.satisfied_by(100.0)
+        assert not constraint.satisfied_by(99.0)
+
+    def test_describe(self):
+        constraint = Constraint(metric=LATENCY, maximum=30.0, minimum=1.0)
+        text = constraint.describe()
+        assert "latency_ms >= 1" in text
+        assert "latency_ms <= 30" in text
+
+
+class TestCriteriaSets:
+    def test_requires_name_and_criteria(self):
+        with pytest.raises(ConfigurationError):
+            CriteriaSet(name="", criteria=(Criterion(LATENCY),))
+        with pytest.raises(ConfigurationError):
+            CriteriaSet(name="x", criteria=())
+
+    def test_lowest_latency_picks_fast_path(self, three_beacons):
+        fast, wide, balanced = three_beacons
+        assert lowest_latency().best([wide, balanced, fast]) is fast
+
+    def test_highest_bandwidth_picks_wide_path(self, three_beacons):
+        fast, wide, balanced = three_beacons
+        assert highest_bandwidth().best([fast, balanced, wide]) is wide
+
+    def test_fewest_hops(self, three_beacons):
+        fast, wide, balanced = three_beacons
+        assert fewest_hops().best([wide, balanced, fast]) is fast
+
+    def test_latency_bounded_widest_matches_figure1(self, three_beacons):
+        """Example #2 of the paper: widest path with latency <= 30 ms."""
+        fast, wide, balanced = three_beacons
+        criteria = widest_with_latency_bound(30.0)
+        assert criteria.best([fast, wide, balanced]) is balanced
+
+    def test_latency_bound_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            widest_with_latency_bound(0.0)
+
+    def test_shortest_widest_breaks_ties_by_latency(self, key_store):
+        wide_long = make_beacon(
+            key_store,
+            [(1, None, 1), (2, 1, 2), (3, 1, 2)],
+            link_latencies=[20.0, 20.0, 20.0],
+            link_bandwidths=[1000.0, 1000.0, 1000.0],
+        )
+        wide_short = make_beacon(
+            key_store,
+            [(1, None, 1), (4, 1, 2)],
+            link_latencies=[10.0, 10.0],
+            link_bandwidths=[1000.0, 1000.0],
+        )
+        assert shortest_widest().best([wide_long, wide_short]) is wide_short
+
+    def test_rank_orders_best_first(self, three_beacons):
+        fast, wide, balanced = three_beacons
+        ranked = lowest_latency().rank([wide, balanced, fast])
+        assert ranked[0] is fast
+        assert ranked[-1] is wide
+
+    def test_select_respects_limit(self, three_beacons):
+        selected = lowest_latency().select(list(three_beacons), limit=2)
+        assert len(selected) == 2
+        assert lowest_latency().select(list(three_beacons), limit=0) == []
+
+    def test_admits_filters_constraints(self, three_beacons):
+        fast, wide, _balanced = three_beacons
+        criteria = widest_with_latency_bound(30.0)
+        assert criteria.admits(fast)
+        assert not criteria.admits(wide)
+
+    def test_best_of_empty_is_none(self):
+        assert lowest_latency().best([]) is None
+
+
+class TestParetoComposition:
+    def test_pareto_keeps_incomparable_paths(self, three_beacons):
+        fast, wide, balanced = three_beacons
+        criteria = latency_bandwidth_pareto()
+        selected = criteria.select([fast, wide, balanced], limit=10)
+        assert fast in selected
+        assert wide in selected
+        assert balanced in selected  # each is better than the others on one axis
+
+    def test_pareto_drops_dominated(self, key_store, three_beacons):
+        fast, wide, balanced = three_beacons
+        dominated = make_beacon(
+            key_store,
+            [(1, None, 1), (7, 1, 2), (8, 1, 2)],
+            link_latencies=[30.0, 30.0, 30.0],
+            link_bandwidths=[50.0, 50.0, 50.0],
+        )
+        criteria = latency_bandwidth_pareto()
+        selected = criteria.select([fast, wide, balanced, dominated], limit=10)
+        assert dominated not in selected
+
+    def test_pareto_rank_places_dominant_first(self, key_store, three_beacons):
+        fast, wide, balanced = three_beacons
+        dominated = make_beacon(
+            key_store,
+            [(1, None, 1), (7, 1, 2), (8, 1, 2)],
+            link_latencies=[30.0, 30.0, 30.0],
+            link_bandwidths=[50.0, 50.0, 50.0],
+        )
+        ranked = latency_bandwidth_pareto().rank([dominated, fast, wide, balanced])
+        assert ranked[-1] is dominated
+
+
+class TestSpecRoundTrip:
+    def test_to_spec_and_back(self):
+        original = widest_with_latency_bound(25.0)
+        restored = CriteriaSet.from_spec(original.to_spec())
+        assert restored.name == original.name
+        assert restored.composition is Composition.LEXICOGRAPHIC
+        assert len(restored.criteria) == len(original.criteria)
+        assert restored.constraints[0].maximum == 25.0
+
+    def test_pareto_spec_round_trip(self):
+        original = latency_bandwidth_pareto()
+        restored = CriteriaSet.from_spec(original.to_spec())
+        assert restored.composition is Composition.PARETO
+
+    def test_unknown_metric_in_spec(self):
+        spec = {
+            "name": "broken",
+            "criteria": [{"metric": "no-such-metric", "objective": "minimize"}],
+        }
+        with pytest.raises(ConfigurationError):
+            CriteriaSet.from_spec(spec)
+
+    def test_structurally_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            CriteriaSet.from_spec({"criteria": []})

@@ -1,0 +1,165 @@
+"""Tests for the ingress database, egress database and path service."""
+
+import pytest
+
+from repro.core.databases import (
+    EgressDatabase,
+    IngressDatabase,
+    PathService,
+    RegisteredPath,
+    StoredBeacon,
+)
+from repro.core.extensions import ExtensionSet
+from repro.exceptions import GatewayError
+
+from tests.conftest import make_beacon
+
+
+def stored(beacon, interface=1, at_ms=0.0):
+    return StoredBeacon(beacon=beacon, received_on_interface=interface, received_at_ms=at_ms)
+
+
+class TestIngressDatabase:
+    def test_insert_and_duplicate(self, key_store, beacon_factory):
+        database = IngressDatabase()
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2)])
+        assert database.insert(stored(beacon))
+        assert not database.insert(stored(beacon))
+        assert len(database) == 1
+        assert beacon.digest() in database
+
+    def test_bucketing_by_origin_group_target_algorithm(self, key_store, beacon_factory):
+        database = IngressDatabase()
+        plain = beacon_factory([(1, None, 1), (2, 1, 2)])
+        grouped = beacon_factory(
+            [(1, None, 1), (3, 1, 2)], extensions=ExtensionSet().with_interface_group(2)
+        )
+        pulled = beacon_factory(
+            [(4, None, 1), (2, 1, 2)], extensions=ExtensionSet().with_target(9)
+        )
+        on_demand = beacon_factory(
+            [(4, None, 1), (3, 1, 2)],
+            extensions=ExtensionSet().with_algorithm("algo", "hash"),
+        )
+        for beacon in (plain, grouped, pulled, on_demand):
+            database.insert(stored(beacon))
+        buckets = database.bucket_keys()
+        assert (1, None, None, None) in buckets
+        assert (1, 2, None, None) in buckets
+        assert (4, None, 9, None) in buckets
+        assert (4, None, None, "algo") in buckets
+        assert len(database.beacons_in_bucket((1, None, None, None))) == 1
+
+    def test_get_by_digest(self, key_store, beacon_factory):
+        database = IngressDatabase()
+        beacon = beacon_factory([(1, None, 1), (2, 1, 2)])
+        database.insert(stored(beacon, interface=5))
+        fetched = database.get(beacon.digest())
+        assert fetched is not None
+        assert fetched.received_on_interface == 5
+        assert database.get("missing") is None
+
+    def test_expiry(self, key_store):
+        database = IngressDatabase()
+        short = make_beacon(key_store, [(1, None, 1), (2, 1, 2)], validity_ms=100.0)
+        lasting = make_beacon(key_store, [(3, None, 1), (2, 1, 2)], validity_ms=10_000.0)
+        database.insert(stored(short))
+        database.insert(stored(lasting))
+        removed = database.remove_expired(now_ms=500.0)
+        assert removed == 1
+        assert len(database) == 1
+        assert database.get(lasting.digest()) is not None
+
+    def test_expiry_margin(self, key_store):
+        database = IngressDatabase(expiry_margin_ms=1000.0)
+        soon = make_beacon(key_store, [(1, None, 1), (2, 1, 2)], validity_ms=500.0)
+        database.insert(stored(soon))
+        # Not expired yet, but within the soon-to-expire margin.
+        assert database.remove_expired(now_ms=0.0) == 1
+
+    def test_all_beacons(self, key_store, beacon_factory):
+        database = IngressDatabase()
+        a = beacon_factory([(1, None, 1), (2, 1, 2)])
+        b = beacon_factory([(3, None, 1), (2, 1, 2)])
+        database.insert(stored(a))
+        database.insert(stored(b))
+        assert len(database.all_beacons()) == 2
+
+
+class TestEgressDatabase:
+    def test_filter_new_interfaces(self):
+        database = EgressDatabase()
+        fresh = database.filter_new_interfaces("digest", [1, 2, 3], expires_at_ms=100.0)
+        assert fresh == [1, 2, 3]
+        again = database.filter_new_interfaces("digest", [2, 3, 4], expires_at_ms=100.0)
+        assert again == [4]
+        assert database.interfaces_for("digest") == {1, 2, 3, 4}
+
+    def test_unknown_digest_has_no_interfaces(self):
+        assert EgressDatabase().interfaces_for("nope") == set()
+
+    def test_expiry(self):
+        database = EgressDatabase()
+        database.filter_new_interfaces("a", [1], expires_at_ms=100.0)
+        database.filter_new_interfaces("b", [1], expires_at_ms=10_000.0)
+        assert database.remove_expired(now_ms=500.0) == 1
+        assert "a" not in database
+        assert "b" in database
+
+    def test_len(self):
+        database = EgressDatabase()
+        database.filter_new_interfaces("a", [1], expires_at_ms=1.0)
+        assert len(database) == 1
+
+
+class TestPathService:
+    def _registered(self, key_store, origin=1, tags=("1sp",), via=2):
+        segment = make_beacon(key_store, [(origin, None, 1), (via, 1, None)])
+        return RegisteredPath(segment=segment, criteria_tags=tags, registered_at_ms=0.0)
+
+    def test_only_terminated_segments_accepted(self, key_store, beacon_factory):
+        not_terminated = beacon_factory([(1, None, 1), (2, 1, 2)])
+        with pytest.raises(GatewayError):
+            RegisteredPath(segment=not_terminated, criteria_tags=("x",), registered_at_ms=0.0)
+
+    def test_register_and_query(self, key_store):
+        service = PathService()
+        path = self._registered(key_store)
+        assert service.register(path)
+        assert len(service.paths_to(1)) == 1
+        assert len(service.paths_with_tag("1sp")) == 1
+        assert service.paths_to(99) == []
+
+    def test_duplicate_registration_merges_tags(self, key_store):
+        service = PathService()
+        segment = make_beacon(key_store, [(1, None, 1), (2, 1, None)])
+        service.register(RegisteredPath(segment=segment, criteria_tags=("1sp",), registered_at_ms=0.0))
+        service.register(RegisteredPath(segment=segment, criteria_tags=("don",), registered_at_ms=1.0))
+        assert len(service) == 1
+        assert set(service.paths_to(1)[0].criteria_tags) == {"1sp", "don"}
+
+    def test_quota_per_tag_origin_group(self, key_store):
+        service = PathService(max_paths_per_key=2)
+        accepted = 0
+        for via in range(2, 7):
+            path = self._registered(key_store, via=via)
+            if service.register(path):
+                accepted += 1
+        assert accepted == 2
+
+    def test_quota_is_per_tag(self, key_store):
+        service = PathService(max_paths_per_key=1)
+        assert service.register(self._registered(key_store, via=2, tags=("1sp",)))
+        # A different criteria tag has its own quota.
+        assert service.register(self._registered(key_store, via=3, tags=("don",)))
+        # Same tag again: rejected.
+        assert not service.register(self._registered(key_store, via=4, tags=("1sp",)))
+
+    def test_expiry(self, key_store):
+        service = PathService()
+        segment = make_beacon(key_store, [(1, None, 1), (2, 1, None)], validity_ms=100.0)
+        service.register(
+            RegisteredPath(segment=segment, criteria_tags=("x",), registered_at_ms=0.0)
+        )
+        assert service.remove_expired(now_ms=1_000.0) == 1
+        assert len(service) == 0

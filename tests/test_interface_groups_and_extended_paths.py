@@ -1,0 +1,147 @@
+"""Tests for interface grouping policies and extended-path helpers."""
+
+import pytest
+
+from repro.algorithms.base import CandidateBeacon
+from repro.core.extended_paths import (
+    best_extended,
+    best_received,
+    extend_candidate,
+    extension_changes_decision,
+)
+from repro.core.interface_groups import (
+    ExplicitGrouping,
+    GeographicGroupingPolicy,
+    PerInterfaceGroupPolicy,
+    SingleGroupPolicy,
+)
+from repro.exceptions import ConfigurationError
+from repro.topology.entities import ASInfo, Interface
+from repro.topology.geo import GeoCoordinate
+
+from tests.conftest import make_beacon
+
+ZURICH = GeoCoordinate(47.3769, 8.5417)
+GENEVA = GeoCoordinate(46.2044, 6.1432)
+TOKYO = GeoCoordinate(35.6762, 139.6503)
+OSAKA = GeoCoordinate(34.6937, 135.5023)
+
+
+def swiss_japanese_as(as_id=1):
+    info = ASInfo(as_id=as_id)
+    for index, location in enumerate((ZURICH, GENEVA, TOKYO, OSAKA), start=1):
+        info.add_interface(Interface(as_id=as_id, interface_id=index, location=location))
+    return info
+
+
+class TestGroupingPolicies:
+    def test_single_group(self):
+        assignment = SingleGroupPolicy().assign(swiss_japanese_as())
+        assert assignment.num_groups == 1
+        assert assignment.members(0) == (1, 2, 3, 4)
+        assert assignment.group_of(3) == 0
+
+    def test_per_interface_groups(self):
+        assignment = PerInterfaceGroupPolicy().assign(swiss_japanese_as())
+        assert assignment.num_groups == 4
+        assert all(len(assignment.members(g)) == 1 for g in assignment.group_ids())
+
+    def test_geographic_grouping_small_radius(self):
+        """A 300 km radius keeps Zurich+Geneva together but splits Tokyo and Osaka."""
+        assignment = GeographicGroupingPolicy(radius_km=300.0).assign(swiss_japanese_as())
+        assert assignment.num_groups == 3
+        zurich_group = assignment.group_of(1)
+        assert assignment.group_of(2) == zurich_group  # Zurich + Geneva ~225 km
+        assert assignment.group_of(3) != zurich_group
+        assert assignment.group_of(4) != assignment.group_of(3)  # Tokyo-Osaka ~400 km
+
+    def test_geographic_grouping_large_radius(self):
+        """A 2000 km radius merges the Swiss pair and the Japanese pair only."""
+        assignment = GeographicGroupingPolicy(radius_km=2000.0).assign(swiss_japanese_as())
+        assert assignment.num_groups == 2
+
+    def test_geographic_grouping_world_radius(self):
+        assignment = GeographicGroupingPolicy(radius_km=50_000.0).assign(swiss_japanese_as())
+        assert assignment.num_groups == 1
+
+    def test_300km_yields_at_least_as_many_groups_as_2000km(self):
+        as_info = swiss_japanese_as()
+        fine = GeographicGroupingPolicy(radius_km=300.0).assign(as_info)
+        coarse = GeographicGroupingPolicy(radius_km=2000.0).assign(as_info)
+        assert fine.num_groups >= coarse.num_groups
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeographicGroupingPolicy(radius_km=-1.0)
+
+    def test_explicit_grouping(self):
+        policy = ExplicitGrouping(groups_by_as={1: {0: (1, 3), 1: (2, 4)}})
+        assignment = policy.assign(swiss_japanese_as())
+        assert assignment.group_of(3) == 0
+        assert assignment.group_of(4) == 1
+        # Unconfigured ASes fall back to a single group.
+        other = policy.assign(swiss_japanese_as(as_id=2))
+        assert other.num_groups == 1
+
+    def test_group_of_unknown_interface(self):
+        assignment = SingleGroupPolicy().assign(swiss_japanese_as())
+        with pytest.raises(ConfigurationError):
+            assignment.group_of(99)
+
+    def test_members_of_unknown_group(self):
+        assignment = SingleGroupPolicy().assign(swiss_japanese_as())
+        with pytest.raises(ConfigurationError):
+            assignment.members(42)
+
+
+class TestExtendedPaths:
+    @pytest.fixture
+    def figure4_candidates(self, key_store):
+        """Two received paths whose preference flips under extension.
+
+        Path P1 has 70 ms received latency and arrives on interface 1;
+        path P2 has 72 ms and arrives on interface 2.  The intra-AS latency
+        to egress interface 3 is 30 ms from interface 1 but only 5 ms from
+        interface 2 (paper Figure 4, numbers scaled).
+        """
+        p1 = CandidateBeacon(
+            beacon=make_beacon(key_store, [(1, None, 1), (2, 1, 2)], link_latencies=[35.0, 35.0]),
+            ingress_interface=1,
+        )
+        p2 = CandidateBeacon(
+            beacon=make_beacon(key_store, [(1, None, 1), (3, 1, 2)], link_latencies=[36.0, 36.0]),
+            ingress_interface=2,
+        )
+        def intra(a, b):
+            table = {(1, 3): 30.0, (3, 1): 30.0, (2, 3): 5.0, (3, 2): 5.0}
+            return table.get((a, b), 0.0)
+
+        return p1, p2, intra
+
+    def test_extend_candidate(self, figure4_candidates):
+        p1, _p2, intra = figure4_candidates
+        metrics = extend_candidate(p1, egress_interface=3, intra_latency_ms=intra)
+        assert metrics.received_latency_ms == pytest.approx(70.0)
+        assert metrics.intra_latency_ms == pytest.approx(30.0)
+        assert metrics.extended_latency_ms == pytest.approx(100.0)
+
+    def test_decision_changes_under_extension(self, figure4_candidates):
+        p1, p2, intra = figure4_candidates
+        changed, received_choice, extended_choice = extension_changes_decision(
+            [p1, p2], egress_interface=3, intra_latency_ms=intra
+        )
+        assert changed
+        assert received_choice is p1
+        assert extended_choice is p2
+
+    def test_best_received_and_extended(self, figure4_candidates):
+        p1, p2, intra = figure4_candidates
+        assert best_received([p1, p2]) is p1
+        assert best_extended([p1, p2], 3, intra) is p2
+
+    def test_empty_candidate_lists(self, figure4_candidates):
+        _p1, _p2, intra = figure4_candidates
+        assert best_received([]) is None
+        assert best_extended([], 3, intra) is None
+        changed, a, b = extension_changes_decision([], 3, intra)
+        assert not changed and a is None and b is None

@@ -1,0 +1,111 @@
+"""Tests for intra-domain latency models and PoP derivation."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.entities import ASInfo, Interface
+from repro.topology.generator import generate_topology, small_test_config
+from repro.topology.geo import GeoCoordinate, propagation_delay_ms
+from repro.topology.intra_domain import IntraDomainModel, IntraDomainRegistry
+from repro.topology.pops import derive_pops, pop_of_interface, pop_pairs
+
+ZURICH = GeoCoordinate(47.3769, 8.5417)
+LONDON = GeoCoordinate(51.5074, -0.1278)
+TOKYO = GeoCoordinate(35.6762, 139.6503)
+
+
+def as_with_interfaces(as_id=1, locations=(ZURICH, LONDON, TOKYO)):
+    info = ASInfo(as_id=as_id)
+    for index, location in enumerate(locations, start=1):
+        info.add_interface(Interface(as_id=as_id, interface_id=index, location=location))
+    return info
+
+
+class TestIntraDomainModel:
+    def test_same_interface_zero_latency(self):
+        model = IntraDomainModel(as_info=as_with_interfaces())
+        assert model.latency_ms(1, 1) == 0.0
+
+    def test_geodesic_estimate(self):
+        model = IntraDomainModel(as_info=as_with_interfaces())
+        expected = propagation_delay_ms(ZURICH, LONDON)
+        assert model.latency_ms(1, 2) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        model = IntraDomainModel(as_info=as_with_interfaces())
+        assert model.latency_ms(1, 3) == pytest.approx(model.latency_ms(3, 1))
+
+    def test_processing_overhead_added(self):
+        model = IntraDomainModel(as_info=as_with_interfaces(), processing_overhead_ms=2.0)
+        expected = propagation_delay_ms(ZURICH, LONDON) + 2.0
+        assert model.latency_ms(1, 2) == pytest.approx(expected)
+
+    def test_override(self):
+        model = IntraDomainModel(as_info=as_with_interfaces())
+        model.set_latency(1, 2, 42.0)
+        assert model.latency_ms(1, 2) == 42.0
+        assert model.latency_ms(2, 1) == 42.0
+
+    def test_negative_override_rejected(self):
+        model = IntraDomainModel(as_info=as_with_interfaces())
+        with pytest.raises(TopologyError):
+            model.set_latency(1, 2, -1.0)
+
+    def test_latency_from_location(self):
+        model = IntraDomainModel(as_info=as_with_interfaces())
+        value = model.latency_from_location(1, LONDON.latitude, LONDON.longitude)
+        assert value == pytest.approx(propagation_delay_ms(ZURICH, LONDON))
+
+
+class TestIntraDomainRegistry:
+    def test_model_created_on_demand(self):
+        registry = IntraDomainRegistry(default_processing_overhead_ms=1.0)
+        info = as_with_interfaces()
+        model = registry.model_for(info)
+        assert model.processing_overhead_ms == 1.0
+        assert registry.model_for(info) is model
+        assert registry.get(info.as_id) is model
+
+    def test_register_replaces(self):
+        registry = IntraDomainRegistry()
+        info = as_with_interfaces()
+        custom = IntraDomainModel(as_info=info, processing_overhead_ms=9.0)
+        registry.register(custom)
+        assert registry.model_for(info) is custom
+
+    def test_get_missing_returns_none(self):
+        assert IntraDomainRegistry().get(123) is None
+
+
+class TestPops:
+    def test_each_far_location_is_its_own_pop(self, small_topology):
+        pops = derive_pops(small_topology)
+        assert set(pops) == set(small_topology.as_ids())
+        for as_id, as_pops in pops.items():
+            member_count = sum(len(p.interfaces) for p in as_pops)
+            assert member_count == small_topology.degree_of(as_id)
+
+    def test_colocated_interfaces_merge(self):
+        topology = generate_topology(small_test_config())
+        coarse = derive_pops(topology, colocation_radius_km=50_000.0)
+        for as_pops in coarse.values():
+            assert len(as_pops) == 1
+
+    def test_pop_of_interface(self, small_topology):
+        pops = derive_pops(small_topology)
+        some_as = small_topology.as_ids()[0]
+        interface = small_topology.interfaces_of(some_as)[0]
+        pop = pop_of_interface(pops, interface.key)
+        assert interface.key in pop.interfaces
+
+    def test_pop_of_unknown_interface(self, small_topology):
+        pops = derive_pops(small_topology)
+        with pytest.raises(KeyError):
+            pop_of_interface(pops, (10_000, 1))
+
+    def test_pop_pairs_enumeration(self, small_topology):
+        pops = derive_pops(small_topology)
+        as_ids = small_topology.as_ids()[:2]
+        pairs = pop_pairs(pops, [(as_ids[0], as_ids[1])])
+        expected = len(pops[as_ids[0]]) * len(pops[as_ids[1]])
+        assert len(pairs) == expected

@@ -1,0 +1,175 @@
+"""Tests for multipath failover forwarding and topology validation."""
+
+import pytest
+
+from repro.core.databases import PathService, RegisteredPath
+from repro.dataplane.multipath import FailoverForwarder, MultipathSelector
+from repro.dataplane.network import DataPlaneNetwork
+from repro.exceptions import DataPlaneError
+from repro.simulation.failures import LinkFailureInjector
+from repro.topology.entities import ASInfo, Interface, Link, Relationship
+from repro.topology.generator import generate_topology, small_test_config
+from repro.topology.geo import GeoCoordinate
+from repro.topology.graph import Topology
+from repro.topology.validation import validate_topology
+
+from tests.conftest import build_topology, figure1_topology, make_beacon
+
+
+def diamond_path_service(key_store):
+    """Two link-disjoint registered paths 1->4 plus one overlapping path."""
+    service = PathService()
+    upper = make_beacon(key_store, [(4, None, 1), (2, 2, 1), (1, 1, None)])
+    lower = make_beacon(key_store, [(4, None, 2), (3, 2, 1), (1, 2, None)])
+    overlap = make_beacon(key_store, [(4, None, 1), (2, 2, 3), (5, 1, 2), (1, 3, None)])
+    for index, segment in enumerate((upper, lower, overlap)):
+        service.register(
+            RegisteredPath(segment=segment, criteria_tags=("hd",), registered_at_ms=float(index))
+        )
+    return service, upper, lower, overlap
+
+
+def diamond_topology():
+    loc = (47.0, 8.0)
+    interfaces = {
+        1: {1: loc, 2: loc, 3: loc},
+        2: {1: loc, 2: loc, 3: loc},
+        3: {1: loc, 2: loc},
+        4: {1: loc, 2: loc},
+        5: {1: loc, 2: loc},
+    }
+    peer = Relationship.PEER
+    links = [
+        ((1, 1), (2, 1), 5.0, 100.0, peer),
+        ((2, 2), (4, 1), 5.0, 100.0, peer),
+        ((1, 2), (3, 1), 5.0, 100.0, peer),
+        ((3, 2), (4, 2), 5.0, 100.0, peer),
+        ((1, 3), (5, 2), 5.0, 100.0, peer),
+        ((5, 1), (2, 3), 5.0, 100.0, peer),
+    ]
+    return build_topology(interfaces, links)
+
+
+class TestMultipathSelector:
+    def test_prefers_disjoint_paths(self, key_store):
+        service, upper, lower, overlap = diamond_path_service(key_store)
+        selector = MultipathSelector(path_service=service)
+        selected = selector.disjoint_paths(destination_as=4, max_paths=2)
+        digests = {path.segment.digest() for path in selected}
+        assert digests == {upper.digest(), lower.digest()}
+
+    def test_max_paths_respected(self, key_store):
+        service, *_paths = diamond_path_service(key_store)
+        selector = MultipathSelector(path_service=service)
+        assert len(selector.disjoint_paths(4, max_paths=1)) == 1
+        assert len(selector.disjoint_paths(4, max_paths=10)) == 3
+
+    def test_tag_filter(self, key_store):
+        service, *_paths = diamond_path_service(key_store)
+        selector = MultipathSelector(path_service=service)
+        assert selector.disjoint_paths(4, required_tags=("missing-tag",)) == []
+
+
+class TestFailoverForwarder:
+    def test_primary_path_used_when_healthy(self, key_store):
+        topology = diamond_topology()
+        service, upper, lower, _overlap = diamond_path_service(key_store)
+        selector = MultipathSelector(path_service=service)
+        paths = selector.disjoint_paths(4, max_paths=2)
+        forwarder = FailoverForwarder(
+            network=DataPlaneNetwork(topology=topology), paths=paths
+        )
+        report = forwarder.deliver()
+        assert report.delivered
+        assert report.used_path_index == 0
+        assert report.attempts == 1
+        assert forwarder.usable_path_count() == 2
+
+    def test_failover_to_disjoint_path_after_link_failure(self, key_store):
+        topology = diamond_topology()
+        service, upper, lower, _overlap = diamond_path_service(key_store)
+        selector = MultipathSelector(path_service=service)
+        paths = selector.disjoint_paths(4, max_paths=2)
+        injector = LinkFailureInjector(topology=topology)
+        # Fail the first link of the primary path.
+        injector.fail_link(paths[0].segment.links()[0])
+        forwarder = FailoverForwarder(
+            network=DataPlaneNetwork(topology=topology),
+            paths=paths,
+            failure_injector=injector,
+        )
+        report = forwarder.deliver()
+        assert report.delivered
+        assert report.used_path_index == 1
+        assert forwarder.usable_path_count() == 1
+
+    def test_all_paths_failed(self, key_store):
+        topology = diamond_topology()
+        service, *_paths = diamond_path_service(key_store)
+        selector = MultipathSelector(path_service=service)
+        paths = selector.disjoint_paths(4, max_paths=3)
+        injector = LinkFailureInjector(topology=topology)
+        for path in paths:
+            injector.fail_link(path.segment.links()[0])
+        forwarder = FailoverForwarder(
+            network=DataPlaneNetwork(topology=topology),
+            paths=paths,
+            failure_injector=injector,
+        )
+        report = forwarder.deliver()
+        assert not report.delivered
+        assert report.used_path_index is None
+
+    def test_requires_paths(self, key_store):
+        forwarder = FailoverForwarder(
+            network=DataPlaneNetwork(topology=diamond_topology()), paths=[]
+        )
+        with pytest.raises(DataPlaneError):
+            forwarder.deliver()
+
+
+class TestTopologyValidation:
+    def test_generated_topology_is_valid(self):
+        topology = generate_topology(small_test_config())
+        report = validate_topology(topology)
+        assert report.is_valid, [str(i) for i in report.errors]
+
+    def test_figure1_topology_warns_about_unattached_interface(self):
+        report = validate_topology(figure1_topology())
+        assert report.is_valid
+        assert any("not attached" in issue.message for issue in report.warnings)
+
+    def test_faster_than_light_link_detected(self):
+        zurich = (47.3769, 8.5417)
+        tokyo = (35.6762, 139.6503)
+        topology = build_topology(
+            {1: {1: zurich}, 2: {1: tokyo}},
+            [((1, 1), (2, 1), 0.5, 100.0, Relationship.PEER)],  # 0.5 ms Zurich-Tokyo
+        )
+        report = validate_topology(topology)
+        assert not report.is_valid
+        assert any("faster than light" in issue.message for issue in report.errors)
+
+    def test_disconnected_topology(self):
+        loc = (10.0, 10.0)
+        topology = Topology()
+        for as_id in (1, 2):
+            info = ASInfo(as_id=as_id)
+            info.add_interface(Interface(as_id=as_id, interface_id=1, location=GeoCoordinate(*loc)))
+            topology.add_as(info)
+        report_strict = validate_topology(topology, require_connected=True)
+        report_lenient = validate_topology(topology, require_connected=False)
+        assert not report_strict.is_valid
+        assert report_lenient.is_valid
+        assert report_lenient.warnings
+
+    def test_implausibly_slow_link_warns(self):
+        loc_a = (47.0, 8.0)
+        loc_b = (47.1, 8.1)
+        topology = build_topology(
+            {1: {1: loc_a}, 2: {1: loc_b}},
+            [((1, 1), (2, 1), 500.0, 100.0, Relationship.PEER)],
+        )
+        report = validate_topology(topology)
+        assert report.is_valid
+        assert any("implausibly high" in issue.message for issue in report.warnings)

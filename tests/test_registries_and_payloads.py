@@ -1,0 +1,173 @@
+"""Tests for algorithm catalogues, payload serialization and on-demand fetching."""
+
+import pytest
+
+from repro.algorithms.bandwidth import ShortestWidestAlgorithm
+from repro.algorithms.criteria_algorithm import CriteriaSetAlgorithm
+from repro.algorithms.pull_disjoint import LinkAvoidingAlgorithm
+from repro.algorithms.registry import (
+    AlgorithmCatalog,
+    decode_payload,
+    default_catalog,
+    encode_builtin_payload,
+    encode_criteria_payload,
+    encode_link_avoiding_payload,
+    encode_restricted_python_payload,
+)
+from repro.algorithms.shortest_path import KShortestPathAlgorithm
+from repro.core.algorithm_registry import AlgorithmFetcher, AlgorithmRepository
+from repro.core.criteria import widest_with_latency_bound
+from repro.core.sandbox import MAX_PAYLOAD_BYTES, RestrictedPythonAlgorithm
+from repro.crypto.hashing import algorithm_hash
+from repro.exceptions import (
+    AlgorithmError,
+    AlgorithmIntegrityError,
+    UnknownAlgorithmError,
+)
+
+
+class TestAlgorithmCatalog:
+    def test_default_catalog_contains_paper_algorithms(self):
+        catalog = default_catalog()
+        for name in ("1sp", "5sp", "20sp", "delay", "hd", "widest", "shortest-widest", "pareto"):
+            assert name in catalog
+
+    def test_create_with_parameters(self):
+        catalog = default_catalog()
+        algorithm = catalog.create("ksp", k=7)
+        assert isinstance(algorithm, KShortestPathAlgorithm)
+        assert algorithm.k == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownAlgorithmError):
+            default_catalog().create("does-not-exist")
+
+    def test_register_is_append_only(self):
+        catalog = AlgorithmCatalog()
+        catalog.register("mine", lambda **kw: KShortestPathAlgorithm(k=1))
+        with pytest.raises(AlgorithmError):
+            catalog.register("mine", lambda **kw: KShortestPathAlgorithm(k=2))
+        assert catalog.names() == ("mine",)
+
+
+class TestPayloadRoundTrips:
+    def test_criteria_payload(self):
+        payload = encode_criteria_payload(widest_with_latency_bound(30.0), paths_per_interface=3)
+        algorithm = decode_payload(payload)
+        assert isinstance(algorithm, CriteriaSetAlgorithm)
+        assert algorithm.paths_per_interface == 3
+        assert algorithm.criteria_set.constraints[0].maximum == 30.0
+
+    def test_link_avoiding_payload(self):
+        payload = encode_link_avoiding_payload([((1, 2), (3, 4)), ((5, 6), (7, 8))])
+        algorithm = decode_payload(payload)
+        assert isinstance(algorithm, LinkAvoidingAlgorithm)
+        assert ((1, 2), (3, 4)) in algorithm.avoid_links
+
+    def test_builtin_payload(self):
+        payload = encode_builtin_payload("shortest-widest", {"paths_per_interface": 2})
+        algorithm = decode_payload(payload)
+        assert isinstance(algorithm, ShortestWidestAlgorithm)
+        assert algorithm.paths_per_interface == 2
+
+    def test_restricted_python_payload(self):
+        payload = encode_restricted_python_payload("latency_ms + hop_count", paths_per_interface=2)
+        algorithm = decode_payload(payload)
+        assert isinstance(algorithm, RestrictedPythonAlgorithm)
+        assert algorithm.paths_per_interface == 2
+
+    def test_malformed_payload(self):
+        with pytest.raises(AlgorithmError):
+            decode_payload(b"not json")
+        with pytest.raises(AlgorithmError):
+            decode_payload(b"[1, 2, 3]")
+        with pytest.raises(AlgorithmError):
+            decode_payload(b'{"kind": "mystery"}')
+
+    def test_payload_encoding_is_deterministic(self):
+        a = encode_criteria_payload(widest_with_latency_bound(30.0))
+        b = encode_criteria_payload(widest_with_latency_bound(30.0))
+        assert a == b
+        assert algorithm_hash(a) == algorithm_hash(b)
+
+
+class TestAlgorithmRepository:
+    def test_publish_and_fetch(self):
+        repository = AlgorithmRepository(as_id=1)
+        payload = encode_builtin_payload("1sp")
+        digest = repository.publish("my-algo", payload)
+        assert digest == algorithm_hash(payload)
+        assert repository.fetch("my-algo") == payload
+        assert repository.hash_of("my-algo") == digest
+        assert "my-algo" in repository
+        assert repository.published_ids() == ("my-algo",)
+
+    def test_fetch_unknown(self):
+        with pytest.raises(UnknownAlgorithmError):
+            AlgorithmRepository(as_id=1).fetch("nope")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(UnknownAlgorithmError):
+            AlgorithmRepository(as_id=1).publish("", b"x")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(AlgorithmIntegrityError):
+            AlgorithmRepository(as_id=1).publish("big", b"x" * (MAX_PAYLOAD_BYTES + 1))
+
+    def test_republish_replaces(self):
+        repository = AlgorithmRepository(as_id=1)
+        repository.publish("algo", b"one")
+        repository.publish("algo", b"two")
+        assert repository.fetch("algo") == b"two"
+
+
+class TestAlgorithmFetcher:
+    def _fetcher(self, payload, cache_enabled=True):
+        calls = []
+
+        def transport(origin_as, algorithm_id):
+            calls.append((origin_as, algorithm_id))
+            return payload
+
+        return AlgorithmFetcher(transport=transport, cache_enabled=cache_enabled), calls
+
+    def test_fetch_verifies_hash(self):
+        payload = encode_builtin_payload("1sp")
+        fetcher, _calls = self._fetcher(payload)
+        assert fetcher.fetch(5, "a", algorithm_hash(payload)) == payload
+        with pytest.raises(AlgorithmIntegrityError):
+            fetcher.fetch(5, "b", "00" * 32)
+
+    def test_cache_prevents_repeat_fetches(self):
+        payload = encode_builtin_payload("1sp")
+        fetcher, calls = self._fetcher(payload)
+        expected = algorithm_hash(payload)
+        fetcher.fetch(5, "a", expected)
+        fetcher.fetch(5, "a", expected)
+        fetcher.fetch(5, "a", expected)
+        assert len(calls) == 1
+        assert fetcher.remote_fetch_count() == 1
+        assert len(fetcher.history) == 3
+
+    def test_cache_disabled_refetches(self):
+        payload = encode_builtin_payload("1sp")
+        fetcher, calls = self._fetcher(payload, cache_enabled=False)
+        expected = algorithm_hash(payload)
+        fetcher.fetch(5, "a", expected)
+        fetcher.fetch(5, "a", expected)
+        assert len(calls) == 2
+
+    def test_clear_cache(self):
+        payload = encode_builtin_payload("1sp")
+        fetcher, calls = self._fetcher(payload)
+        expected = algorithm_hash(payload)
+        fetcher.fetch(5, "a", expected)
+        fetcher.clear_cache()
+        fetcher.fetch(5, "a", expected)
+        assert len(calls) == 2
+
+    def test_oversized_fetched_payload_rejected(self):
+        big = b"x" * (MAX_PAYLOAD_BYTES + 1)
+        fetcher, _calls = self._fetcher(big)
+        with pytest.raises(AlgorithmIntegrityError):
+            fetcher.fetch(5, "a", algorithm_hash(big))

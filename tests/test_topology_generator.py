@@ -1,0 +1,148 @@
+"""Tests for the synthetic topology generator and the geo-rel format."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.topology import caida
+from repro.topology.entities import Relationship
+from repro.topology.generator import (
+    TopologyConfig,
+    generate_topology,
+    paper_scale_config,
+    small_test_config,
+)
+from repro.topology.geo import GeoCoordinate
+
+
+class TestTopologyConfig:
+    def test_default_config_is_valid(self):
+        TopologyConfig().validate()
+
+    def test_core_plus_transit_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(num_ases=5, num_core=3, num_transit=5).validate()
+
+    def test_peering_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(peering_probability=1.5).validate()
+
+    def test_bandwidth_range(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(min_bandwidth_mbps=100.0, max_bandwidth_mbps=10.0).validate()
+
+    def test_needs_core(self):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(num_core=0).validate()
+
+
+class TestGenerateTopology:
+    def test_deterministic_given_seed(self):
+        a = generate_topology(small_test_config(seed=3))
+        b = generate_topology(small_test_config(seed=3))
+        assert a.as_ids() == b.as_ids()
+        assert set(a.links) == set(b.links)
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(small_test_config(seed=3))
+        b = generate_topology(small_test_config(seed=4))
+        assert set(a.links) != set(b.links)
+
+    def test_connected(self):
+        topology = generate_topology(small_test_config())
+        assert topology.is_connected()
+
+    def test_as_count_matches_config(self):
+        config = small_test_config()
+        topology = generate_topology(config)
+        assert topology.num_ases == config.num_ases
+
+    def test_core_is_meshed(self):
+        config = small_test_config()
+        topology = generate_topology(config)
+        for a in range(1, config.num_core + 1):
+            for b in range(a + 1, config.num_core + 1):
+                assert topology.relationship(a, b) is Relationship.CORE
+
+    def test_stubs_have_providers(self):
+        config = small_test_config()
+        topology = generate_topology(config)
+        first_stub = config.num_core + config.num_transit + 1
+        for as_id in range(first_stub, config.num_ases + 1):
+            assert len(topology.providers_of(as_id)) >= 1
+
+    def test_heavy_tail_core_degree_exceeds_stub_degree(self):
+        config = small_test_config()
+        topology = generate_topology(config)
+        core_degrees = [topology.degree_of(a) for a in range(1, config.num_core + 1)]
+        stub_degrees = [
+            topology.degree_of(a)
+            for a in range(config.num_core + config.num_transit + 1, config.num_ases + 1)
+        ]
+        assert max(core_degrees) > max(stub_degrees)
+
+    def test_link_latency_positive_and_geo_consistent(self):
+        topology = generate_topology(small_test_config())
+        for link in topology.links.values():
+            assert link.latency_ms > 0.0
+            assert link.bandwidth_mbps > 0.0
+
+    def test_paper_scale_config_shape(self):
+        config = paper_scale_config()
+        config.validate()
+        assert config.num_ases == 500
+
+
+class TestCaidaFormat:
+    def test_parse_line_roundtrip(self):
+        record = caida.GeoRelRecord(
+            as_a=10,
+            as_b=20,
+            relationship=Relationship.CUSTOMER_PROVIDER,
+            location_a=GeoCoordinate(47.0, 8.0),
+            location_b=GeoCoordinate(48.0, 9.0),
+            bandwidth_mbps=5000.0,
+        )
+        parsed = caida.parse_line(caida.format_record(record))
+        assert parsed.as_a == 10
+        assert parsed.relationship is Relationship.CUSTOMER_PROVIDER
+        assert parsed.bandwidth_mbps == pytest.approx(5000.0)
+
+    def test_parse_line_default_bandwidth(self):
+        line = "1|2|p2p|47.0|8.0|48.0|9.0"
+        record = caida.parse_line(line)
+        assert record.bandwidth_mbps == caida.DEFAULT_BANDWIDTH_MBPS
+
+    def test_parse_line_malformed(self):
+        with pytest.raises(TopologyError):
+            caida.parse_line("1|2|bogus|47.0|8.0|48.0|9.0")
+        with pytest.raises(TopologyError):
+            caida.parse_line("1|2|p2p")
+
+    def test_parse_lines_skips_comments_and_blanks(self):
+        lines = ["# comment", "", "1|2|p2p|47.0|8.0|48.0|9.0"]
+        assert len(caida.parse_lines(lines)) == 1
+
+    def test_records_to_topology(self):
+        records = caida.parse_lines(
+            [
+                "1|2|p2c|47.0|8.0|48.0|9.0|1000",
+                "2|3|p2p|48.0|9.0|49.0|10.0|2000",
+            ]
+        )
+        topology = caida.records_to_topology(records)
+        assert topology.num_ases == 3
+        assert topology.num_links == 2
+        assert topology.relationship(1, 2) is Relationship.CUSTOMER_PROVIDER
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        topology = generate_topology(small_test_config())
+        path = tmp_path / "topology.georel"
+        caida.dump_topology(topology, path)
+        loaded = caida.load_topology(path)
+        assert loaded.num_ases == topology.num_ases
+        assert loaded.num_links == topology.num_links
+
+    def test_topology_to_records_preserves_relationships(self):
+        topology = generate_topology(small_test_config())
+        records = caida.topology_to_records(topology)
+        assert len(records) == topology.num_links
