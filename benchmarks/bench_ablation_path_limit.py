@@ -25,6 +25,9 @@ from repro.topology.generator import generate_topology
 
 from conftest import bench_topology_config, simulation_periods
 
+#: Full multi-period simulations; excluded from the default tier-1 run.
+pytestmark = pytest.mark.slow
+
 LIMITS = (1, 5, 20)
 
 

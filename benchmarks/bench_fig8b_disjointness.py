@@ -24,6 +24,9 @@ from repro.topology.generator import generate_topology
 
 from conftest import bench_topology_config, simulation_periods
 
+#: Full multi-period simulations; excluded from the default tier-1 run.
+pytestmark = pytest.mark.slow
+
 #: Number of (source, target) AS pairs driven through the PD procedure.
 PD_PAIRS = 2
 

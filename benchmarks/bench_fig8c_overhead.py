@@ -32,6 +32,9 @@ from repro.topology.generator import generate_topology
 
 from conftest import bench_topology_config, simulation_periods
 
+#: Full multi-period simulations; excluded from the default tier-1 run.
+pytestmark = pytest.mark.slow
+
 
 def _single_algorithm_scenario(spec: AlgorithmSpec, periods: int) -> ScenarioConfig:
     return ScenarioConfig(algorithms=(spec,), periods=periods, verify_signatures=False)

@@ -1,0 +1,327 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness for the beacon fast path.
+
+Runs the paper-derived workloads at a pinned scale and writes one JSON
+report (wall-clock per stage, beacons/sec, digest/verify operation counts)
+so that successive PRs have a perf trajectory to regress against:
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out BENCH_PR1.json
+
+Stages
+------
+
+* ``fig6_rac_latency``      — on-demand RAC processing latency over growing
+                              candidate sets (modelled sandbox/IPC costs
+                              zeroed so raw Python cost is visible),
+* ``fig7_rac_throughput``   — aggregate PCB/s of several RACs over the
+                              Figure-7 (rac count, |Φ|) grid,
+* ``pareto_frontier``       — the Sobrinho-style dominant-set baseline over
+                              synthetic candidate sets (stresses the
+                              frontier computation and metric extraction),
+* ``beaconing_e2e``         — a full multi-period beaconing simulation with
+                              signature verification enabled, at the scale
+                              selected by ``--scale`` / ``IREC_BENCH_SCALE``
+                              (default ``medium``).
+
+Every stage resets the library's crypto perf counters first, so the
+reported ``digest``/``verify`` numbers are the operations that stage
+actually performed (memo/cache hits do not count — that is the point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # direct script invocation
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.algorithms.pareto import ParetoDominantAlgorithm
+from repro.analysis.microbench import latency_series, measure_throughput
+from repro.analysis.workloads import synthetic_candidate_set
+
+try:
+    from repro.crypto.hashing import perf_counters, reset_perf_counters
+except ImportError:  # pre-PR1 trees have no crypto perf counters
+    def perf_counters():
+        return {}
+
+    def reset_perf_counters():
+        return None
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import don_scenario
+from repro.topology.generator import TopologyConfig, generate_topology, paper_scale_config
+
+# Pinned workload shapes — change them only together with a note in the
+# report's ``meta`` section, otherwise cross-PR comparisons are meaningless.
+FIG6_SIZES = (16, 64, 256)
+FIG7_RAC_COUNTS = (1, 4)
+FIG7_SIZES = (64, 256, 1024)
+PARETO_SIZES = (256, 1024)
+PARETO_ROUNDS = 3
+
+
+def scale_topology_config(scale: str, seed: int = 7) -> TopologyConfig:
+    """Return the pinned topology configuration for ``scale``.
+
+    Mirrors ``benchmarks/conftest.py`` (kept in sync by hand; the harness
+    must stay importable without pytest).
+    """
+    if scale == "paper":
+        return paper_scale_config(seed=seed)
+    if scale == "medium":
+        return TopologyConfig(
+            num_ases=120,
+            num_core=6,
+            num_transit=30,
+            core_parallel_links=2,
+            transit_provider_count=3,
+            stub_provider_count=2,
+            peering_probability=0.1,
+            max_pops_core=6,
+            max_pops_transit=3,
+            max_pops_stub=2,
+            seed=seed,
+        )
+    return TopologyConfig(
+        num_ases=30,
+        num_core=4,
+        num_transit=9,
+        core_parallel_links=2,
+        transit_provider_count=2,
+        stub_provider_count=2,
+        peering_probability=0.15,
+        max_pops_core=5,
+        max_pops_transit=3,
+        max_pops_stub=2,
+        seed=seed,
+    )
+
+
+def _staged(run):
+    """Run ``run`` with fresh perf counters; return (result, wall_s, counters)."""
+    reset_perf_counters()
+    start = time.perf_counter()
+    result = run()
+    wall_s = time.perf_counter() - start
+    return result, wall_s, perf_counters()
+
+
+def stage_fig6_rac_latency() -> dict:
+    """Figure-6 latency decomposition with modelled costs zeroed."""
+    series, wall_s, counters = _staged(
+        lambda: latency_series(FIG6_SIZES, modelled_setup_ms=0.0, modelled_ipc_call_ms=0.0)
+    )
+    return {
+        "wall_s": wall_s,
+        "points": [
+            {
+                "candidate_set_size": point.candidate_set_size,
+                "irec_total_ms": point.irec_total_ms,
+                "legacy_ms": point.legacy_ms,
+            }
+            for point in series
+        ],
+        "crypto_ops": counters,
+    }
+
+
+def stage_fig7_rac_throughput() -> dict:
+    """Figure-7 throughput grid; the headline beacons/sec number."""
+
+    def run():
+        points = []
+        for size in FIG7_SIZES:
+            for rac_count in FIG7_RAC_COUNTS:
+                points.append(measure_throughput(rac_count=rac_count, candidate_set_size=size))
+        return points
+
+    points, wall_s, counters = _staged(run)
+    throughputs = [p.pcbs_per_second for p in points if p.pcbs_per_second > 0]
+    return {
+        "wall_s": wall_s,
+        # Mean of the per-point measured throughputs: the wall clock also
+        # covers (identical) workload construction, the measured PCB/s is
+        # the regression-relevant number.
+        "beacons_per_s": sum(throughputs) / len(throughputs) if throughputs else 0.0,
+        "points": [
+            {
+                "rac_count": p.rac_count,
+                "candidate_set_size": p.candidate_set_size,
+                "pcbs_per_second": p.pcbs_per_second,
+            }
+            for p in points
+        ],
+        "crypto_ops": counters,
+    }
+
+
+def stage_pareto_frontier() -> dict:
+    """Dominant-set selection over synthetic candidates (related-work baseline)."""
+    algorithm = ParetoDominantAlgorithm()
+    candidate_sets = {size: synthetic_candidate_set(size) for size in PARETO_SIZES}
+
+    def run():
+        processed = 0
+        for size, candidates in candidate_sets.items():
+            beacons = [candidate.beacon for candidate in candidates]
+            for _round in range(PARETO_ROUNDS):
+                dominant = algorithm.dominant_set(beacons)
+                processed += len(beacons)
+                assert dominant, f"empty dominant set for size {size}"
+        return processed
+
+    processed, wall_s, counters = _staged(run)
+    return {
+        "wall_s": wall_s,
+        "beacons_per_s": processed / wall_s if wall_s > 0 else 0.0,
+        "crypto_ops": counters,
+    }
+
+
+def stage_beaconing_e2e(scale: str, periods: int) -> dict:
+    """Full beaconing simulation with signature verification enabled."""
+    topology = generate_topology(scale_topology_config(scale))
+
+    def run():
+        simulation = BeaconingSimulation(
+            topology, don_scenario(periods=periods, verify_signatures=True)
+        )
+        return simulation.run()
+
+    result, wall_s, counters = _staged(run)
+    stats_totals = {"received": 0, "accepted": 0, "full_verifications": 0,
+                    "incremental_verifications": 0, "signatures_checked": 0}
+    for service in result.services.values():
+        ingress = getattr(service, "ingress", None)
+        stats = getattr(ingress, "stats", None)
+        if stats is None:
+            continue
+        for key in stats_totals:
+            stats_totals[key] += getattr(stats, key, 0)
+    return {
+        "wall_s": wall_s,
+        "periods": result.periods_run,
+        "pcbs_sent": result.collector.total_sent,
+        "beacons_per_s": result.collector.total_sent / wall_s if wall_s > 0 else 0.0,
+        "ingress": stats_totals,
+        "crypto_ops": counters,
+    }
+
+
+def _stage_throughput(stage: dict) -> float:
+    """Return a stage's measured PCB/s, derived from points if needed."""
+    points = stage.get("points")
+    if points and "pcbs_per_second" in points[0]:
+        throughputs = [p["pcbs_per_second"] for p in points if p["pcbs_per_second"] > 0]
+        if throughputs:
+            return sum(throughputs) / len(throughputs)
+    return stage.get("beacons_per_s", 0.0)
+
+
+def compare_to_baseline(report: dict, baseline: dict) -> dict:
+    """Return per-stage speedups of ``report`` over ``baseline``."""
+    comparison = {}
+    for name, stage in report["stages"].items():
+        base = baseline.get("stages", {}).get(name)
+        if not base:
+            continue
+        entry = {"baseline_wall_s": base["wall_s"]}
+        if stage.get("wall_s"):
+            entry["wall_speedup"] = base["wall_s"] / stage["wall_s"]
+        base_throughput = _stage_throughput(base)
+        throughput = _stage_throughput(stage)
+        if base_throughput > 0 and throughput > 0:
+            entry["baseline_beacons_per_s"] = base_throughput
+            entry["beacons_per_s"] = throughput
+            entry["throughput_speedup"] = throughput / base_throughput
+        comparison[name] = entry
+    return comparison
+
+
+def run_all(scale: str, periods: int) -> dict:
+    report = {
+        "meta": {
+            "harness": "run_benchmarks.py v1 (PR 1)",
+            "scale": scale,
+            "periods": periods,
+            "python": platform.python_version(),
+            "unix_time": time.time(),
+        },
+        "stages": {},
+    }
+    stages = (
+        ("fig6_rac_latency", stage_fig6_rac_latency),
+        ("fig7_rac_throughput", stage_fig7_rac_throughput),
+        ("pareto_frontier", stage_pareto_frontier),
+        ("beaconing_e2e", lambda: stage_beaconing_e2e(scale, periods)),
+    )
+    for name, stage in stages:
+        print(f"[bench] running {name} ...", flush=True)
+        report["stages"][name] = stage()
+        print(
+            f"[bench]   {name}: wall={report['stages'][name]['wall_s']:.2f}s",
+            flush=True,
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR1.json", help="output JSON path")
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("IREC_BENCH_SCALE", "medium"),
+        choices=("small", "medium", "paper"),
+        help="end-to-end simulation scale (default: IREC_BENCH_SCALE or medium)",
+    )
+    parser.add_argument(
+        "--periods", type=int, default=3, help="beaconing periods for the e2e stage"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="previous report (e.g. from the seed tree) to compute speedups against",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        # Load up front: a bad path must fail before the expensive run.
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        baseline_scale = baseline.get("meta", {}).get("scale")
+        if baseline_scale is not None and baseline_scale != args.scale:
+            print(
+                f"[bench] WARNING: baseline was measured at scale={baseline_scale!r}, "
+                f"this run uses scale={args.scale!r}; speedups are not comparable",
+                flush=True,
+            )
+
+    report = run_all(args.scale, args.periods)
+    if baseline is not None:
+        report["baseline_meta"] = baseline.get("meta", {})
+        report["speedup_vs_baseline"] = compare_to_baseline(report, baseline)
+        for name, entry in report["speedup_vs_baseline"].items():
+            wall = entry.get("wall_speedup")
+            throughput = entry.get("throughput_speedup")
+            print(
+                f"[bench] {name}: wall {wall:.2f}x" if wall else f"[bench] {name}:",
+                f"throughput {throughput:.2f}x" if throughput else "",
+                flush=True,
+            )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

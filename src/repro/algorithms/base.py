@@ -155,17 +155,23 @@ def select_per_interface(
     limit = context.max_paths_per_interface
     if limit <= 0:
         return result
+    # The loop check and the deterministic tie-break key do not depend on
+    # the egress interface; compute them once per candidate instead of once
+    # per (candidate, interface).  Both lean on the beacon's memoized
+    # as_path/digest, so repeated rounds over the same bucket are cheap.
+    admissible: List[Tuple[CandidateBeacon, Tuple]] = [
+        (candidate, (candidate.beacon.as_path(), candidate.beacon.digest()))
+        for candidate in context.candidates
+        if not candidate.beacon.contains_as(context.local_as)
+    ]
     for egress_interface in context.egress_interfaces:
-        ranked: List[Tuple[Tuple, str, Beacon]] = []
-        for candidate in context.candidates:
-            if candidate.beacon.contains_as(context.local_as):
-                continue
+        ranked: List[Tuple[Tuple, Beacon]] = []
+        for candidate, tie_break in admissible:
             if admit is not None and not admit(candidate, egress_interface, context):
                 continue
             key = score(candidate, egress_interface, context)
-            tie_break = (candidate.beacon.as_path(), candidate.beacon.digest())
-            ranked.append((tuple(key) + tie_break, candidate.beacon.digest(), candidate.beacon))
+            ranked.append((tuple(key) + tie_break, candidate.beacon))
         ranked.sort(key=lambda item: item[0])
-        for _key, _digest, beacon in ranked[:limit]:
+        for _key, beacon in ranked[:limit]:
             result.add(egress_interface, beacon)
     return result

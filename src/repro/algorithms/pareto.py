@@ -63,9 +63,15 @@ class ParetoDominantAlgorithm(RoutingAlgorithm):
             if not candidate.beacon.contains_as(context.local_as)
         ]
         dominant = self.dominant_set(loop_free)
-        dominant.sort(key=lambda beacon: (beacon.hop_count, beacon.total_latency_ms(), beacon.digest()))
+        # Deterministic tie-break: hop count, accumulated latency, then the
+        # memoized digest as the canonical identity.  The dominant set is
+        # capped once, before the per-interface fan-out.
+        dominant.sort(
+            key=lambda beacon: (beacon.hop_count, beacon.total_latency_ms(), beacon.digest())
+        )
+        del dominant[limit:]
         for egress_interface in context.egress_interfaces:
-            for beacon in dominant[:limit]:
+            for beacon in dominant:
                 result.add(egress_interface, beacon)
         return result
 

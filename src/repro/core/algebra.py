@@ -21,6 +21,7 @@ on multiple optimality criteria, §X):
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -123,6 +124,19 @@ STANDARD_METRICS: Dict[str, MetricDefinition] = {
 }
 
 
+@functools.lru_cache(maxsize=None)
+def signature_index_map(
+    metrics: Tuple[MetricDefinition, ...]
+) -> Dict[MetricDefinition, int]:
+    """Return (and cache) the metric→index map of a signature.
+
+    A *signature* (tuple of metric definitions) recurs across every vector
+    of one criteria set, so the map is computed once per distinct signature
+    instead of once per lookup.
+    """
+    return {metric: index for index, metric in enumerate(metrics)}
+
+
 @dataclass(frozen=True)
 class PathVector:
     """The values of several metrics for one path.
@@ -142,6 +156,21 @@ class PathVector:
             )
 
     @classmethod
+    def _trusted(
+        cls, metrics: Tuple[MetricDefinition, ...], values: Tuple[float, ...]
+    ) -> "PathVector":
+        """Build a vector from an already-validated signature/value pair.
+
+        Internal fast path for operations that derive a vector from an
+        existing one (the signature is known consistent), skipping the
+        dataclass ``__init__``/``__post_init__`` re-validation.
+        """
+        vector = object.__new__(cls)
+        object.__setattr__(vector, "metrics", metrics)
+        object.__setattr__(vector, "values", values)
+        return vector
+
+    @classmethod
     def empty(cls, metrics: Sequence[MetricDefinition]) -> "PathVector":
         """Return the vector of the empty path (each metric's identity)."""
         metrics = tuple(metrics)
@@ -159,20 +188,20 @@ class PathVector:
         Raises:
             AlgebraError: If the metric is not part of the signature.
         """
-        try:
-            index = self.metrics.index(metric)
-        except ValueError:
-            raise AlgebraError(f"metric {metric.name} not in vector signature") from None
+        index = signature_index_map(self.metrics).get(metric)
+        if index is None:
+            raise AlgebraError(f"metric {metric.name} not in vector signature")
         return self.values[index]
 
     def extend(self, hop: Mapping[MetricDefinition, float]) -> "PathVector":
         """Return the vector of this path extended by one hop."""
         new_values = []
         for metric, value in zip(self.metrics, self.values):
-            if metric not in hop:
+            hop_value = hop.get(metric)
+            if hop_value is None:
                 raise AlgebraError(f"hop does not provide metric {metric.name}")
-            new_values.append(metric.combine(value, hop[metric]))
-        return PathVector(metrics=self.metrics, values=tuple(new_values))
+            new_values.append(metric.combine(value, hop_value))
+        return PathVector._trusted(self.metrics, tuple(new_values))
 
     def _check_signature(self, other: "PathVector") -> None:
         if self.metrics != other.metrics:
@@ -217,13 +246,104 @@ def pareto_frontier(vectors: Sequence[Tuple[object, PathVector]]) -> List[Tuple[
     multi-criteria optimality: all non-dominated paths are kept, which is
     optimal but grows quickly with the number of criteria (§X).
 
+    The frontier is computed without the naive all-pairs rescan: values are
+    first normalized so that smaller is always better, then
+
+    * one metric: a single min-scan,
+    * two metrics: a sort-based sweep (O(n log n)) tracking the best second
+      component seen at strictly smaller first components, and
+    * three or more metrics: a skyline scan over the vectors in ascending
+      lexicographic order.  Componentwise domination implies strict
+      lexicographic order, so every potential dominator of a vector
+      precedes it in the scan and each vector only needs to be checked
+      against the frontier built so far.
+
     Args:
         vectors: Sequence of ``(label, vector)`` pairs; labels are opaque.
+            All vectors must share one signature.
 
     Returns:
         The non-dominated pairs, in their original order.  Duplicated
         vectors are all kept (they do not dominate each other).
     """
+    labelled = list(vectors)
+    if len(labelled) <= 1:
+        return labelled
+    metrics = labelled[0][1].metrics
+    normalized: List[Tuple[float, ...]] = []
+    for _label, vector in labelled:
+        if vector.metrics != metrics:
+            raise AlgebraError("cannot compare path vectors with different signatures")
+        normalized.append(
+            tuple(
+                value if metric.objective is Objective.MINIMIZE else -value
+                for metric, value in zip(metrics, vector.values)
+            )
+        )
+
+    if len(metrics) == 1:
+        best = min(key[0] for key in normalized)
+        keep = {index for index, key in enumerate(normalized) if key[0] == best}
+    elif len(metrics) == 2:
+        keep = _frontier_indices_2d(normalized)
+    else:
+        keep = _frontier_indices_skyline(normalized)
+    return [pair for index, pair in enumerate(labelled) if index in keep]
+
+
+def _frontier_indices_2d(keys: Sequence[Tuple[float, ...]]) -> set:
+    """Sweep-based 2-metric frontier over minimize-normalized keys."""
+    order = sorted(range(len(keys)), key=lambda index: keys[index])
+    keep: set = set()
+    best_y_before = math.inf  # best second component at strictly smaller x
+    position = 0
+    while position < len(order):
+        # Process one group of equal first components together: points in
+        # the group only dominate each other through the second component.
+        group_end = position
+        x = keys[order[position]][0]
+        while group_end < len(order) and keys[order[group_end]][0] == x:
+            group_end += 1
+        group_best_y = keys[order[position]][1]  # sorted, so first is minimal
+        for rank in range(position, group_end):
+            index = order[rank]
+            y = keys[index][1]
+            if y >= best_y_before or y > group_best_y:
+                continue  # dominated by a smaller-x or same-x point
+            keep.add(index)
+        best_y_before = min(best_y_before, group_best_y)
+        position = group_end
+    return keep
+
+
+def _frontier_indices_skyline(keys: Sequence[Tuple[float, ...]]) -> set:
+    """Skyline scan for k-metric frontiers over minimize-normalized keys.
+
+    Vectors are visited in ascending lexicographic order; a vector can only
+    be dominated by one that precedes it, and any vector dominated by an
+    already-dominated vector is also dominated by that vector's dominator,
+    so comparing against the kept frontier alone is sufficient.
+    """
+    order = sorted(range(len(keys)), key=lambda index: keys[index])
+    keep: set = set()
+    frontier: List[Tuple[float, ...]] = []
+    for index in order:
+        key = keys[index]
+        dominated = False
+        for kept in frontier:
+            if kept != key and all(a <= b for a, b in zip(kept, key)):
+                dominated = True
+                break
+        if not dominated:
+            keep.add(index)
+            frontier.append(key)
+    return keep
+
+
+def pareto_frontier_naive(
+    vectors: Sequence[Tuple[object, PathVector]]
+) -> List[Tuple[object, PathVector]]:
+    """Reference all-pairs O(n²) frontier, kept for equivalence testing."""
     result: List[Tuple[object, PathVector]] = []
     for label, vector in vectors:
         if not any(other.dominates(vector) for _olabel, other in vectors if other is not vector):

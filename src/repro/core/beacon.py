@@ -12,15 +12,38 @@ path service produces a *terminated* beacon whose last entry has no egress
 interface.  The :class:`BeaconBuilder` owned by each AS's egress gateway is
 the only component that creates or extends beacons, which keeps the signing
 logic in one place.
+
+Fast-path invariants
+--------------------
+
+Beacons and their entries are **immutable**, which makes every derived
+value cacheable: canonical encodings, the SHA-256 digest (the canonical
+identity used for deduplication everywhere), the prefix-digest chain and
+the accumulated path metrics are all computed at most once per object and
+memoized in the instance ``__dict__`` (dataclass equality and hashing only
+consider declared fields, so the memos are invisible to comparisons).
+Because :class:`ASEntry` objects are shared between a beacon and every
+beacon derived from it via :meth:`Beacon.with_entry`, extending a beacon
+re-encodes only the appended entry — the parent's per-entry encodings are
+cache hits — so building an ``L``-hop beacon costs ``O(L)`` entry encodings
+in total instead of ``O(L²)``.
+
+The digest is defined as ``sha256(header | entry_0 | … | entry_{L-1})`` and
+is computed via an incrementally-updated hash state whose intermediate
+snapshots form the :meth:`Beacon.prefix_digests` chain: element ``i`` is
+the digest the beacon had when entry ``i`` was its last entry.  The ingress
+gateway keys its verified-prefix cache on this chain, so both dedup and
+incremental re-verification come out of one pass over the encoding.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.crypto.hashing import beacon_digest
+from repro.crypto.hashing import beacon_digest, count_crypto_op
 from repro.crypto.signer import Signer, Verifier
 from repro.exceptions import BeaconError, LoopError
 from repro.core.extensions import ExtensionSet
@@ -32,6 +55,21 @@ from repro.topology.entities import InterfaceID, LinkID, normalize_link_id
 DEFAULT_VALIDITY_MS = 6.0 * 60.0 * 60.0 * 1000.0
 
 _beacon_sequence = itertools.count(1)
+
+
+def _memo(obj, key: str, compute):
+    """Return ``obj.__dict__[key]``, computing and storing it on first use.
+
+    The single memoization primitive of the beacon fast path.  It works on
+    frozen dataclasses because writing to the instance ``__dict__``
+    bypasses the frozen ``__setattr__``, and stays invisible to dataclass
+    equality/hashing, which only consider declared fields.
+    """
+    cached = obj.__dict__.get(key)
+    if cached is None:
+        cached = compute()
+        obj.__dict__[key] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -57,15 +95,25 @@ class ASEntry:
     signature: bytes = b""
 
     def encode_unsigned(self) -> str:
-        """Return the canonical encoding of the entry without its signature."""
-        return (
-            f"entry(as={self.as_id},in={self.ingress_interface},"
-            f"out={self.egress_interface},{self.static_info.encode()})"
+        """Return the canonical encoding of the entry without its signature.
+
+        The encoding is memoized: entries are immutable, so it is computed
+        at most once per entry object.
+        """
+        return _memo(
+            self,
+            "_encoded_unsigned",
+            lambda: (
+                f"entry(as={self.as_id},in={self.ingress_interface},"
+                f"out={self.egress_interface},{self.static_info.encode()})"
+            ),
         )
 
     def encode(self) -> str:
-        """Return the canonical encoding including the signature."""
-        return f"{self.encode_unsigned()}sig({self.signature.hex()})"
+        """Return the canonical encoding including the signature (memoized)."""
+        return _memo(
+            self, "_encoded", lambda: f"{self.encode_unsigned()}sig({self.signature.hex()})"
+        )
 
 
 @dataclass(frozen=True)
@@ -140,11 +188,11 @@ class Beacon:
 
     def as_path(self) -> Tuple[int, ...]:
         """Return the sequence of AS identifiers from the origin onwards."""
-        return tuple(entry.as_id for entry in self.entries)
+        return _memo(self, "_as_path", lambda: tuple(entry.as_id for entry in self.entries))
 
     def contains_as(self, as_id: int) -> bool:
         """Return whether ``as_id`` already appears on the beacon's path."""
-        return any(entry.as_id == as_id for entry in self.entries)
+        return as_id in _memo(self, "_as_set", lambda: frozenset(self.as_path()))
 
     def links(self) -> Tuple[LinkID, ...]:
         """Return the inter-domain links traversed, as normalised link ids.
@@ -183,19 +231,28 @@ class Beacon:
         latency is included, i.e. the value is the latency up to the ingress
         interface of the *next* AS (the one about to receive the beacon),
         matching what that AS observes when optimizing received paths.
+
+        The value is memoized — beacons are immutable, so the walk over the
+        entries happens at most once per beacon object.
         """
-        return sum(entry.static_info.hop_latency_ms for entry in self.entries)
+        return _memo(
+            self,
+            "_total_latency_ms",
+            lambda: sum(entry.static_info.hop_latency_ms for entry in self.entries),
+        )
 
     def bottleneck_bandwidth_mbps(self) -> float:
-        """Return the bottleneck (minimum) link bandwidth along the path."""
-        bandwidths = [
-            entry.static_info.link_bandwidth_mbps
-            for entry in self.entries
-            if entry.static_info.link_bandwidth_mbps is not None
-        ]
-        if not bandwidths:
-            return float("inf")
-        return min(bandwidths)
+        """Return the bottleneck (minimum) link bandwidth along the path (memoized)."""
+
+        def compute() -> float:
+            bandwidths = [
+                entry.static_info.link_bandwidth_mbps
+                for entry in self.entries
+                if entry.static_info.link_bandwidth_mbps is not None
+            ]
+            return min(bandwidths) if bandwidths else float("inf")
+
+        return _memo(self, "_bottleneck_bandwidth_mbps", compute)
 
     # ------------------------------------------------------------------
     # lifecycle and integrity
@@ -209,10 +266,28 @@ class Beacon:
         return self.created_at_ms + self.validity_ms
 
     def header_encoding(self) -> str:
-        """Return the canonical encoding of the beacon header (no entries)."""
-        return (
-            f"pcb(origin={self.origin_as},created={self.created_at_ms:.3f},"
-            f"validity={self.validity_ms:.3f},{self.extensions.encode()})"
+        """Return the canonical encoding of the beacon header (memoized)."""
+        return _memo(
+            self,
+            "_header_encoding",
+            lambda: (
+                f"pcb(origin={self.origin_as},created={self.created_at_ms:.3f},"
+                f"validity={self.validity_ms:.3f},{self.extensions.encode()})"
+            ),
+        )
+
+    def _entry_encodings(self) -> Tuple[str, ...]:
+        """Return the cached full encodings of all entries.
+
+        Each element comes from :meth:`ASEntry.encode`, which memoizes on
+        the entry object itself; since entries are shared with every beacon
+        derived through :meth:`with_entry`, only entries never encoded
+        before (typically just the newly-appended one) do real work.
+        """
+        return _memo(
+            self,
+            "_entry_encodings_cache",
+            lambda: tuple(entry.encode() for entry in self.entries),
         )
 
     def signed_prefix(self, upto: int) -> bytes:
@@ -225,19 +300,51 @@ class Beacon:
         if not 0 <= upto < len(self.entries):
             raise BeaconError(f"entry index {upto} out of range")
         parts = [self.header_encoding()]
-        parts.extend(entry.encode() for entry in self.entries[:upto])
+        parts.extend(self._entry_encodings()[:upto])
         parts.append(self.entries[upto].encode_unsigned())
         return "|".join(parts).encode("utf-8")
 
     def encode(self) -> bytes:
-        """Return the full canonical encoding (used for hashing/dedup)."""
-        parts = [self.header_encoding()]
-        parts.extend(entry.encode() for entry in self.entries)
-        return "|".join(parts).encode("utf-8")
+        """Return the full canonical encoding (used for hashing/dedup, memoized)."""
+
+        def compute() -> bytes:
+            count_crypto_op("beacon_encode")
+            parts = [self.header_encoding()]
+            parts.extend(self._entry_encodings())
+            return "|".join(parts).encode("utf-8")
+
+        return _memo(self, "_encoded", compute)
+
+    def prefix_digests(self) -> Tuple[str, ...]:
+        """Return the digest chain of the beacon's prefixes (memoized).
+
+        Element ``i`` is the SHA-256 hex digest of
+        ``header | entry_0 | … | entry_i`` — i.e. exactly the
+        :meth:`digest` the beacon had when entry ``i`` was its last entry.
+        The whole chain is produced in one pass by snapshotting an
+        incrementally-updated hash state, so it costs one traversal of the
+        encoding regardless of the hop count.  The ingress gateway keys its
+        verified-prefix cache on these values.
+        """
+        def compute() -> Tuple[str, ...]:
+            count_crypto_op("beacon_digest")
+            state = hashlib.sha256(self.header_encoding().encode("utf-8"))
+            digests: List[str] = []
+            for encoded_entry in self._entry_encodings():
+                state.update(b"|")
+                state.update(encoded_entry.encode("utf-8"))
+                digests.append(state.copy().hexdigest())
+            return tuple(digests)
+
+        return _memo(self, "_prefix_digests", compute)
 
     def digest(self) -> str:
-        """Return the SHA-256 hex digest of the full encoding."""
-        return beacon_digest(self.encode())
+        """Return the SHA-256 hex digest of the full encoding (memoized)."""
+        return _memo(
+            self,
+            "_digest",
+            lambda: self.prefix_digests()[-1] if self.entries else beacon_digest(self.encode()),
+        )
 
     def verify(self, verifier: Verifier) -> None:
         """Verify the complete signature chain.
@@ -246,10 +353,37 @@ class Beacon:
             SignatureError: If any entry's signature is invalid.
             BeaconError: If the beacon has no entries.
         """
+        self.verify_suffix(verifier, first_entry=0)
+
+    def verify_suffix(self, verifier: Verifier, first_entry: int) -> None:
+        """Verify the signatures of entries ``first_entry`` onwards.
+
+        The signed prefixes are built from one growing buffer instead of
+        being re-joined from scratch per entry, and the per-entry encodings
+        are cache hits, so the string work is linear in the encoding size.
+        Skipping already-verified prefixes is only sound when the caller
+        knows the prefix ending at ``first_entry - 1`` was verified against
+        the same key material — that is what the ingress gateway's
+        verified-prefix cache establishes.
+
+        Raises:
+            SignatureError: If any checked entry's signature is invalid.
+            BeaconError: If the beacon has no entries or ``first_entry`` is
+                out of range.
+        """
         if not self.entries:
             raise BeaconError("cannot verify a beacon without entries")
-        for index, entry in enumerate(self.entries):
-            verifier.verify(entry.as_id, self.signed_prefix(index), entry.signature)
+        if not 0 <= first_entry <= len(self.entries):
+            raise BeaconError(f"entry index {first_entry} out of range")
+        encodings = self._entry_encodings()
+        prefix_parts = [self.header_encoding()]
+        prefix_parts.extend(encodings[:first_entry])
+        prefix = "|".join(prefix_parts)
+        for index in range(first_entry, len(self.entries)):
+            entry = self.entries[index]
+            signed = f"{prefix}|{entry.encode_unsigned()}".encode("utf-8")
+            verifier.verify(entry.as_id, signed, entry.signature)
+            prefix = f"{prefix}|{encodings[index]}"
 
     # ------------------------------------------------------------------
     # derivation

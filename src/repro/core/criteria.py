@@ -16,6 +16,12 @@ Criteria sets are declarative, hashable and serializable — which is what
 makes them *extensible*: an origin AS can describe a brand new criteria set
 inside an on-demand algorithm payload without any code changes at the ASes
 that execute it.
+
+Fast-path note: beacons are immutable and extractor registration is
+append-only, so extracted metric values and whole :class:`PathVector`\\ s
+are memoized per beacon (see :meth:`StandardMetrics.vector_for`).  Every
+RAC re-ranks its entire bucket each beaconing period; without the memo that
+re-walks every entry of every beacon every round.
 """
 
 from __future__ import annotations
@@ -82,11 +88,27 @@ class StandardMetrics:
 
     @classmethod
     def vector_for(cls, metrics: Sequence[MetricDefinition], beacon: Beacon) -> PathVector:
-        """Return the :class:`PathVector` of ``beacon`` over ``metrics``."""
-        return PathVector(
-            metrics=tuple(metrics),
-            values=tuple(cls.extract(metric, beacon) for metric in metrics),
-        )
+        """Return the :class:`PathVector` of ``beacon`` over ``metrics``.
+
+        The vector is memoized per (beacon, signature): beacons are
+        immutable and extractor registration is append-only, so the same
+        beacon evaluated by the same criteria set across rounds (the common
+        case — every RAC re-ranks its whole bucket each period) reuses the
+        extracted values instead of re-walking the entries.
+        """
+        signature = tuple(metrics)
+        cache = beacon.__dict__.get("_metric_vectors")
+        if cache is None:
+            cache = {}
+            beacon.__dict__["_metric_vectors"] = cache
+        vector = cache.get(signature)
+        if vector is None:
+            vector = PathVector(
+                metrics=signature,
+                values=tuple(cls.extract(metric, beacon) for metric in metrics),
+            )
+            cache[signature] = vector
+        return vector
 
 
 @dataclass(frozen=True)

@@ -59,11 +59,17 @@ class IngressDatabase:
 
     Beacons are deduplicated by digest: receiving the same beacon twice
     (e.g. over two parallel links) keeps only the first copy.
+
+    Bucket membership is kept in insertion-ordered dicts used as sets, so
+    expiry removes each digest from its bucket in O(1) instead of scanning
+    a list, and buckets emptied by expiry are dropped from the index
+    entirely.
     """
 
     expiry_margin_ms: float = 0.0
     _by_digest: Dict[str, StoredBeacon] = field(default_factory=dict)
-    _buckets: Dict[BucketKey, List[str]] = field(default_factory=dict)
+    #: Bucket → insertion-ordered set of digests (dict keys; values unused).
+    _buckets: Dict[BucketKey, Dict[str, None]] = field(default_factory=dict)
 
     def insert(self, stored: StoredBeacon) -> bool:
         """Insert a beacon; return ``False`` if it was already present."""
@@ -71,7 +77,7 @@ class IngressDatabase:
         if digest in self._by_digest:
             return False
         self._by_digest[digest] = stored
-        self._buckets.setdefault(stored.bucket, []).append(digest)
+        self._buckets.setdefault(stored.bucket, {})[digest] = None
         return True
 
     def bucket_keys(self) -> Tuple[BucketKey, ...]:
@@ -105,9 +111,11 @@ class IngressDatabase:
         ]
         for digest in expired:
             stored = self._by_digest.pop(digest)
-            bucket = self._buckets.get(stored.bucket)
-            if bucket and digest in bucket:
-                bucket.remove(digest)
+            bucket_digests = self._buckets.get(stored.bucket)
+            if bucket_digests is not None:
+                bucket_digests.pop(digest, None)
+                if not bucket_digests:
+                    del self._buckets[stored.bucket]
         return len(expired)
 
     def __len__(self) -> int:

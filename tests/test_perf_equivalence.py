@@ -1,0 +1,281 @@
+"""Equivalence tests for the beacon fast path.
+
+The hot-path optimizations (memoized encodings/digests, the sweep-based
+Pareto frontier and the ingress gateway's incremental signature
+verification) are pure performance work: they must be observationally
+identical to the naive implementations.  These property tests pin that
+down:
+
+* the memoized digest equals an independent, from-scratch re-encoding and
+  re-hashing of the beacon after arbitrary ``with_entry``/termination
+  chains, and every element of the prefix-digest chain equals the digest
+  of the corresponding prefix beacon,
+* the sweep/skyline ``pareto_frontier`` returns exactly the same labelled
+  pairs (same order) as the quadratic reference on random vectors with 2–4
+  metrics, including duplicates and maximize-objective metrics, and
+* incremental verification accepts exactly what full verification accepts
+  and rejects beacons tampered at every entry position, with or without a
+  warm verified-prefix cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algebra import (
+    BANDWIDTH,
+    HOP_COUNT,
+    LATENCY,
+    PathVector,
+    RELIABILITY,
+    pareto_frontier,
+    pareto_frontier_naive,
+)
+from repro.core.beacon import Beacon, BeaconBuilder
+from repro.core.extensions import ExtensionSet
+from repro.core.ingress import IngressGateway, VerifiedPrefixCache
+from repro.core.staticinfo import StaticInfo
+from repro.crypto.keys import KeyStore
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import SignatureError
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+latencies = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+bandwidths = st.one_of(
+    st.none(), st.floats(min_value=1.0, max_value=100_000.0, allow_nan=False)
+)
+
+hop_specs = st.lists(
+    st.tuples(latencies, latencies, bandwidths), min_size=1, max_size=7
+)
+
+
+def build_chain(key_store, hops, terminate=False, extensions=None):
+    """Build a signed beacon from (intra_latency, link_latency, bandwidth) hops."""
+    origin_builder = BeaconBuilder(
+        as_id=10, signer=Signer(as_id=10, key_store=key_store)
+    )
+    intra, link, bandwidth = hops[0]
+    beacon = origin_builder.originate(
+        egress_interface=1,
+        created_at_ms=0.0,
+        static_info=StaticInfo(link_latency_ms=link, link_bandwidth_mbps=bandwidth),
+        extensions=extensions,
+    )
+    for index, (intra, link, bandwidth) in enumerate(hops[1:], start=1):
+        as_id = 10 + index
+        builder = BeaconBuilder(as_id=as_id, signer=Signer(as_id=as_id, key_store=key_store))
+        last = terminate and index == len(hops) - 1
+        info = StaticInfo(
+            intra_latency_ms=intra,
+            link_latency_ms=0.0 if last else link,
+            link_bandwidth_mbps=None if last else bandwidth,
+        )
+        if last:
+            beacon = builder.terminate(beacon, ingress_interface=2, static_info=info)
+        else:
+            beacon = builder.extend(
+                beacon, ingress_interface=2, egress_interface=1, static_info=info
+            )
+    return beacon
+
+
+def naive_encode(beacon: Beacon) -> bytes:
+    """Re-encode a beacon from its raw fields, bypassing every memo."""
+    parts = [
+        f"pcb(origin={beacon.origin_as},created={beacon.created_at_ms:.3f},"
+        f"validity={beacon.validity_ms:.3f},{beacon.extensions.encode()})"
+    ]
+    for entry in beacon.entries:
+        unsigned = (
+            f"entry(as={entry.as_id},in={entry.ingress_interface},"
+            f"out={entry.egress_interface},{entry.static_info.encode()})"
+        )
+        parts.append(f"{unsigned}sig({entry.signature.hex()})")
+    return "|".join(parts).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# (a) digests
+# ----------------------------------------------------------------------
+class TestDigestEquivalence:
+    @given(hops=hop_specs, terminate=st.booleans(), with_extension=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_cached_digest_matches_naive_reencode(self, hops, terminate, with_extension):
+        key_store = KeyStore()
+        extensions = (
+            ExtensionSet().with_interface_group(3) if with_extension else None
+        )
+        beacon = build_chain(
+            key_store, hops, terminate=terminate and len(hops) > 1, extensions=extensions
+        )
+        expected = hashlib.sha256(naive_encode(beacon)).hexdigest()
+        assert beacon.digest() == expected
+        # The memo must be stable across repeated calls.
+        assert beacon.digest() == expected
+        assert beacon.encode() == naive_encode(beacon)
+
+    @given(hops=hop_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_digest_chain_matches_prefix_beacons(self, hops):
+        key_store = KeyStore()
+        beacon = build_chain(key_store, hops)
+        chain = beacon.prefix_digests()
+        assert len(chain) == beacon.hop_count
+        for index in range(beacon.hop_count):
+            prefix = replace(beacon, entries=beacon.entries[: index + 1])
+            assert chain[index] == hashlib.sha256(naive_encode(prefix)).hexdigest()
+        assert beacon.digest() == chain[-1]
+
+    def test_extension_reuses_parent_entry_encodings(self, key_store):
+        parent = build_chain(key_store, [(0.0, 5.0, 100.0), (1.0, 5.0, 100.0)])
+        builder = BeaconBuilder(as_id=99, signer=Signer(as_id=99, key_store=key_store))
+        child = builder.extend(parent, ingress_interface=1, egress_interface=2)
+        # The shared entries are the same objects, so their encodings are
+        # computed once and shared between parent and child.
+        assert child.entries[:2] == parent.entries[:2]
+        assert child.entries[0] is parent.entries[0]
+        assert child.digest() != parent.digest()
+        assert hashlib.sha256(naive_encode(child)).hexdigest() == child.digest()
+
+
+# ----------------------------------------------------------------------
+# (b) pareto frontier
+# ----------------------------------------------------------------------
+METRIC_POOLS = (
+    (LATENCY, BANDWIDTH),
+    (LATENCY, HOP_COUNT, BANDWIDTH),
+    (LATENCY, HOP_COUNT, BANDWIDTH, RELIABILITY),
+)
+
+
+class TestParetoEquivalence:
+    @given(
+        pool_index=st.integers(min_value=0, max_value=len(METRIC_POOLS) - 1),
+        rows=st.lists(
+            st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=4),
+            min_size=0,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sweep_matches_quadratic_reference(self, pool_index, rows):
+        metrics = METRIC_POOLS[pool_index]
+        labelled = [
+            (
+                index,
+                PathVector(
+                    metrics=metrics,
+                    values=tuple(float(v) for v in row[: len(metrics)]),
+                ),
+            )
+            for index, row in enumerate(rows)
+        ]
+        fast = pareto_frontier(labelled)
+        naive = pareto_frontier_naive(labelled)
+        assert [label for label, _v in fast] == [label for label, _v in naive]
+        assert [v.values for _l, v in fast] == [v.values for _l, v in naive]
+
+    def test_duplicates_are_all_kept(self):
+        vector = PathVector(metrics=(LATENCY, BANDWIDTH), values=(10.0, 100.0))
+        other = PathVector(metrics=(LATENCY, BANDWIDTH), values=(10.0, 100.0))
+        dominated = PathVector(metrics=(LATENCY, BANDWIDTH), values=(20.0, 50.0))
+        frontier = pareto_frontier([("a", vector), ("b", other), ("c", dominated)])
+        assert [label for label, _v in frontier] == ["a", "b"]
+
+    def test_infinite_values_are_handled(self):
+        # Bottleneck identity is +inf; the sweep must not choke on it.
+        best = PathVector(metrics=(LATENCY, BANDWIDTH), values=(1.0, float("inf")))
+        worse = PathVector(metrics=(LATENCY, BANDWIDTH), values=(2.0, 100.0))
+        frontier = pareto_frontier([("best", best), ("worse", worse)])
+        assert [label for label, _v in frontier] == ["best"]
+        assert pareto_frontier([]) == []
+
+
+# ----------------------------------------------------------------------
+# (c) incremental verification
+# ----------------------------------------------------------------------
+def tamper(beacon: Beacon, position: int) -> Beacon:
+    """Return a copy of ``beacon`` with entry ``position`` altered."""
+    entry = beacon.entries[position]
+    forged = replace(
+        entry,
+        static_info=replace(entry.static_info, intra_latency_ms=entry.static_info.intra_latency_ms + 1.0),
+    )
+    entries = beacon.entries[:position] + (forged,) + beacon.entries[position + 1 :]
+    return replace(beacon, entries=entries)
+
+
+class TestIncrementalVerification:
+    @given(hops=hop_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_accepts_what_full_accepts(self, hops):
+        key_store = KeyStore()
+        beacon = build_chain(key_store, hops)
+        verifier = Verifier(key_store=key_store)
+        beacon.verify(verifier)  # full verification accepts
+
+        gateway = IngressGateway(as_id=999_999, verifier=verifier)
+        assert gateway.receive(beacon, on_interface=1, now_ms=0.0)
+        assert gateway.stats.full_verifications == 1
+        assert gateway.stats.signatures_checked == beacon.hop_count
+
+        # Re-verifying an extension only checks the new entry's signature.
+        builder = BeaconBuilder(as_id=777, signer=Signer(as_id=777, key_store=key_store))
+        child = builder.extend(beacon, ingress_interface=3, egress_interface=4)
+        assert gateway.receive(child, on_interface=1, now_ms=0.0)
+        assert gateway.stats.incremental_verifications == 1
+        assert gateway.stats.signatures_checked == beacon.hop_count + 1
+
+    @given(hops=hop_specs, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_tampered_entries_rejected_at_every_position(self, hops, data):
+        key_store = KeyStore()
+        beacon = build_chain(key_store, hops)
+        verifier = Verifier(key_store=key_store)
+        position = data.draw(
+            st.integers(min_value=0, max_value=beacon.hop_count - 1), label="position"
+        )
+        forged = tamper(beacon, position)
+        with pytest.raises(SignatureError):
+            forged.verify(verifier)
+        gateway = IngressGateway(as_id=999_999, verifier=verifier)
+        assert not gateway.receive(forged, on_interface=1, now_ms=0.0)
+        assert gateway.stats.rejected_signature == 1
+
+    def test_warm_cache_still_rejects_tampered_extension(self, key_store):
+        beacon = build_chain(key_store, [(0.0, 5.0, 100.0), (1.0, 5.0, 100.0)])
+        verifier = Verifier(key_store=key_store)
+        gateway = IngressGateway(as_id=999_999, verifier=verifier)
+        assert gateway.receive(beacon, on_interface=1, now_ms=0.0)
+
+        builder = BeaconBuilder(as_id=777, signer=Signer(as_id=777, key_store=key_store))
+        child = builder.extend(beacon, ingress_interface=3, egress_interface=4)
+
+        # Tampering the new entry: the cached prefix is valid, but the
+        # incremental check of the appended entry must still fail.
+        forged_new = tamper(child, child.hop_count - 1)
+        assert not gateway.receive(forged_new, on_interface=1, now_ms=0.0)
+
+        # Tampering a cached-prefix entry changes the prefix digests, so the
+        # cache cannot match and full verification fails.
+        forged_old = tamper(child, 0)
+        assert not gateway.receive(forged_old, on_interface=1, now_ms=0.0)
+        assert gateway.stats.rejected_signature == 2
+
+        # The untampered extension is still accepted afterwards.
+        assert gateway.receive(child, on_interface=1, now_ms=0.0)
+
+    def test_prefix_cache_is_bounded(self):
+        cache = VerifiedPrefixCache(max_entries=3)
+        for index in range(5):
+            cache.add(f"digest-{index}")
+        assert len(cache) == 3
+        assert "digest-0" not in cache
+        assert "digest-4" in cache
