@@ -1,0 +1,135 @@
+"""Dynamic-scenario benchmark — convergence under failures and churn.
+
+The static Figure-8 benchmarks measure the control plane at rest; this one
+measures it while the topology misbehaves.  A seeded random schedule of
+link failures (with recoveries) and one AS churn cycle runs inside a
+multi-period beaconing simulation; the report prints, per disruption of
+the watched AS pairs, the paths lost, the time-to-recovery in periods and
+the control-message overhead spent re-converging — plus the engine-wide
+drop/revocation counters that the dynamic transport produces.
+
+Like the other paper-scale simulations this is excluded from tier-1; run
+it with ``-m slow`` (``IREC_BENCH_SCALE`` selects the topology size).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.events import random_churn, random_link_failures
+from repro.simulation.scenario import don_scenario
+from repro.topology.generator import generate_topology
+from repro.units import minutes
+
+from conftest import bench_topology_config, simulation_periods
+
+#: Full multi-period simulations; excluded from the default tier-1 run.
+pytestmark = pytest.mark.slow
+
+PERIOD_MS = minutes(10)
+FAILURE_COUNT = 3
+WATCHED_PAIRS = 3
+
+
+def build_dynamic_simulation(periods: int):
+    """Build the pinned dynamic workload at the configured scale."""
+    topology = generate_topology(bench_topology_config())
+    scenario = don_scenario(periods=periods, verify_signatures=False)
+    rng = random.Random(97)
+    as_ids = topology.as_ids()
+    origin_as = as_ids[0]
+    # Aim the failures at the first watched stub's own (provider) links:
+    # every path of that pair crosses one of them, so the disruption
+    # machinery (withdrawal, outage, re-convergence) is really exercised.
+    victim_links = [link.key for link in topology.links_of(as_ids[-1])]
+    scenario.timeline.extend(
+        random_link_failures(
+            topology,
+            count=FAILURE_COUNT,
+            rng=rng,
+            start_ms=2.5 * PERIOD_MS,
+            spacing_ms=PERIOD_MS,
+            recovery_after_ms=1.5 * PERIOD_MS,
+            candidates=victim_links,
+        )
+    )
+    scenario.timeline.extend(
+        random_churn(
+            topology,
+            count=1,
+            rng=rng,
+            start_ms=3.5 * PERIOD_MS,
+            spacing_ms=PERIOD_MS,
+            downtime_ms=PERIOD_MS,
+            candidates=as_ids[-6:],  # stubs only: the core stays connected
+        )
+    )
+    simulation = BeaconingSimulation(topology, scenario)
+    for offset in range(1, WATCHED_PAIRS + 1):
+        simulation.watch_pair(as_ids[-offset], origin_as)
+    return simulation
+
+
+def test_dynamic_convergence_report(capsys):
+    """Run the dynamic workload and print the convergence report."""
+    periods = simulation_periods() + 4  # room for failures and recoveries
+    simulation = build_dynamic_simulation(periods)
+    result = simulation.run()
+
+    records = result.convergence.records
+    rows = [
+        [
+            f"{record.source_as}->{record.destination_as}",
+            record.event_label,
+            f"{record.event_time_ms / PERIOD_MS:.1f}",
+            record.paths_lost,
+            f"{record.time_to_recovery_ms / PERIOD_MS:.1f}"
+            if record.recovered
+            else "open",
+            record.control_message_overhead
+            if record.control_message_overhead is not None
+            else "-",
+        ]
+        for record in records
+    ]
+    with capsys.disabled():
+        print("\nDynamic convergence — disruptions of the watched pairs")
+        print(
+            format_table(
+                ["pair", "event", "at (periods)", "lost",
+                 "recovery (periods)", "msg overhead"],
+                rows,
+            )
+            if rows
+            else "(no watched pair was disrupted by the sampled failures)"
+        )
+        print(
+            f"engine: {result.collector.total_sent} PCBs sent, "
+            f"{result.collector.total_dropped} dropped, "
+            f"{result.collector.total_revocations} revocations, "
+            f"{result.periods_run} periods"
+        )
+
+    # Shape checks: the failure schedule really perturbed the control plane
+    # and every bookkeeping invariant held.
+    assert result.collector.total_revocations > 0
+    assert result.periods_run == periods
+    for record in records:
+        if record.recovered:
+            assert record.time_to_recovery_ms > 0
+            assert record.paths_regained >= 0
+
+
+def test_dynamic_simulation_benchmark(benchmark):
+    """Benchmark one dynamic simulation at the configured scale."""
+    periods = simulation_periods() + 2
+
+    def run():
+        return build_dynamic_simulation(periods).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.collector.total_sent > 0

@@ -21,7 +21,11 @@ Stages
 * ``beaconing_e2e``         — a full multi-period beaconing simulation with
                               signature verification enabled, at the scale
                               selected by ``--scale`` / ``IREC_BENCH_SCALE``
-                              (default ``medium``).
+                              (default ``medium``),
+* ``dynamic_convergence``   — a beaconing simulation under a seeded schedule
+                              of link failures/recoveries with convergence
+                              tracking (added in PR 2; absent from older
+                              baselines, which the comparison tolerates).
 
 Every stage resets the library's crypto perf counters first, so the
 reported ``digest``/``verify`` numbers are the operations that stage
@@ -55,6 +59,7 @@ except ImportError:  # pre-PR1 trees have no crypto perf counters
     def reset_perf_counters():
         return None
 from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.events import random_link_failures
 from repro.simulation.scenario import don_scenario
 from repro.topology.generator import TopologyConfig, generate_topology, paper_scale_config
 
@@ -215,6 +220,52 @@ def stage_beaconing_e2e(scale: str, periods: int) -> dict:
     }
 
 
+def stage_dynamic_convergence(scale: str, periods: int) -> dict:
+    """Beaconing under seeded failures/recoveries with convergence tracking."""
+    import random
+
+    topology = generate_topology(scale_topology_config(scale))
+    interval_ms = 600_000.0
+    scenario = don_scenario(periods=periods + 2, verify_signatures=False)
+    as_ids = topology.as_ids()
+    victim_links = [link.key for link in topology.links_of(as_ids[-1])]
+    scenario.timeline.extend(
+        random_link_failures(
+            topology,
+            count=2,
+            rng=random.Random(97),
+            start_ms=1.5 * interval_ms,
+            spacing_ms=interval_ms,
+            recovery_after_ms=1.5 * interval_ms,
+            candidates=victim_links,
+        )
+    )
+
+    def run():
+        simulation = BeaconingSimulation(topology, scenario)
+        simulation.watch_pair(as_ids[-1], as_ids[0])
+        return simulation.run()
+
+    result, wall_s, counters = _staged(run)
+    records = result.convergence.records
+    recovered = [r for r in records if r.recovered]
+    return {
+        "wall_s": wall_s,
+        "pcbs_sent": result.collector.total_sent,
+        "beacons_per_s": result.collector.total_sent / wall_s if wall_s > 0 else 0.0,
+        "pcbs_dropped": result.collector.total_dropped,
+        "revocations": result.collector.total_revocations,
+        "disruptions": len(records),
+        "recovered": len(recovered),
+        "mean_recovery_ms": (
+            sum(r.time_to_recovery_ms for r in recovered) / len(recovered)
+            if recovered
+            else 0.0
+        ),
+        "crypto_ops": counters,
+    }
+
+
 def _stage_throughput(stage: dict) -> float:
     """Return a stage's measured PCB/s, derived from points if needed."""
     points = stage.get("points")
@@ -261,6 +312,7 @@ def run_all(scale: str, periods: int) -> dict:
         ("fig7_rac_throughput", stage_fig7_rac_throughput),
         ("pareto_frontier", stage_pareto_frontier),
         ("beaconing_e2e", lambda: stage_beaconing_e2e(scale, periods)),
+        ("dynamic_convergence", lambda: stage_dynamic_convergence(scale, periods)),
     )
     for name, stage in stages:
         print(f"[bench] running {name} ...", flush=True)

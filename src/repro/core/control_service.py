@@ -41,6 +41,7 @@ from repro.core.transport import ControlPlaneTransport
 from repro.crypto.keys import KeyStore
 from repro.crypto.signer import Signer, Verifier
 from repro.exceptions import ConfigurationError
+from repro.topology.entities import LinkID, normalize_link_id
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,54 @@ class ControlServiceConfig:
     beacon_validity_ms: float = DEFAULT_VALIDITY_MS
     registration_limit: int = 20
     originate_with_groups: bool = True
+
+
+def purge_link_state(as_id, ingress_database, path_service, link_id: LinkID) -> Tuple[int, int]:
+    """Remove beacons/paths crossing ``link_id`` from one AS's databases.
+
+    Shared between the IREC and the legacy control service (both expose the
+    same database surface).  For a stored (non-terminated) beacon the link it
+    arrived over — last entry's egress interface to the local ingress
+    interface — is part of its path as seen locally, so it is checked in
+    addition to the beacon's interior links.
+
+    Returns:
+        ``(ingress_removed, paths_removed)`` counts.
+    """
+    failed = normalize_link_id(*link_id)
+
+    def stored_crosses(stored) -> bool:
+        beacon = stored.beacon
+        if failed in beacon.links():
+            return True
+        last = beacon.entries[-1]
+        if last.egress_interface is None:
+            return False
+        arrival = normalize_link_id(
+            (last.as_id, last.egress_interface), (as_id, stored.received_on_interface)
+        )
+        return failed == arrival
+
+    ingress_removed = ingress_database.remove_matching(stored_crosses)
+    paths_removed = path_service.remove_matching(
+        lambda path: failed in path.segment.links()
+    )
+    return ingress_removed, paths_removed
+
+
+def purge_as_state(ingress_database, path_service, gone_as: int) -> Tuple[int, int]:
+    """Remove beacons/paths whose AS path crosses ``gone_as``.
+
+    Returns:
+        ``(ingress_removed, paths_removed)`` counts.
+    """
+    ingress_removed = ingress_database.remove_matching(
+        lambda stored: stored.beacon.contains_as(gone_as)
+    )
+    paths_removed = path_service.remove_matching(
+        lambda path: path.segment.contains_as(gone_as)
+    )
+    return ingress_removed, paths_removed
 
 
 @dataclass
@@ -180,6 +229,55 @@ class IrecControlService:
         rac = RoutingAlgorithmContainer(config=config, on_demand_manager=manager)
         self.racs.append(rac)
         return rac
+
+    def remove_rac(self, rac_id: str) -> bool:
+        """Remove the RAC with ``rac_id``; return whether one was removed.
+
+        Hot-swapping an algorithm (dynamic scenarios) is remove + add: the
+        replacement RAC starts from fresh algorithm state, as a freshly
+        deployed container would.
+        """
+        remaining = [rac for rac in self.racs if rac.config.rac_id != rac_id]
+        removed = len(remaining) != len(self.racs)
+        self.racs = remaining
+        return removed
+
+    def set_policies(self, policies: Sequence) -> None:
+        """Replace the ingress gateway's admission policies atomically."""
+        self.ingress.policies = list(policies)
+
+    # ------------------------------------------------------------------
+    # dynamic-topology invalidation
+    # ------------------------------------------------------------------
+    def invalidate_link(self, link_id: LinkID) -> Tuple[int, int]:
+        """Withdraw all state crossing a failed inter-domain link.
+
+        Models the control plane's reaction to a revocation: beacons whose
+        path crosses the link are dropped from the ingress database (so the
+        next RAC round re-selects on the surviving candidates and the egress
+        gateway re-registers paths from them), registered paths crossing it
+        are withdrawn from the path service, and returned pull beacons over
+        it are discarded before an orchestrator can consume them.
+
+        Returns:
+            ``(ingress_removed, paths_removed)`` counts.
+        """
+        failed = normalize_link_id(*link_id)
+        self.pull_results = [
+            (beacon, at_ms)
+            for beacon, at_ms in self.pull_results
+            if failed not in beacon.links()
+        ]
+        return purge_link_state(self.as_id, self.ingress.database, self.path_service, failed)
+
+    def invalidate_as(self, gone_as: int) -> Tuple[int, int]:
+        """Withdraw all state whose AS path crosses a departed AS."""
+        self.pull_results = [
+            (beacon, at_ms)
+            for beacon, at_ms in self.pull_results
+            if not beacon.contains_as(gone_as)
+        ]
+        return purge_as_state(self.ingress.database, self.path_service, gone_as)
 
     # ------------------------------------------------------------------
     # transport-facing handlers

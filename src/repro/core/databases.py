@@ -17,7 +17,7 @@ persistence across process restarts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.beacon import Beacon
 from repro.exceptions import GatewayError
@@ -104,19 +104,38 @@ class IngressDatabase:
     def remove_expired(self, now_ms: float) -> int:
         """Drop beacons that are expired (or about to expire); return the count."""
         horizon = now_ms + self.expiry_margin_ms
-        expired = [
+        return self._remove_digests(
             digest
             for digest, stored in self._by_digest.items()
             if stored.beacon.is_expired(horizon)
-        ]
-        for digest in expired:
-            stored = self._by_digest.pop(digest)
+        )
+
+    def remove_matching(self, predicate: Callable[[StoredBeacon], bool]) -> int:
+        """Drop every stored beacon satisfying ``predicate``; return the count.
+
+        This is the invalidation primitive of the dynamic-scenario engine:
+        when an inter-domain link fails (or an AS leaves), the control
+        service removes every beacon whose path crosses the failed element
+        so that RACs re-select on the changed topology instead of keeping
+        stale candidates alive until their natural expiry.
+        """
+        return self._remove_digests(
+            digest for digest, stored in self._by_digest.items() if predicate(stored)
+        )
+
+    def _remove_digests(self, digests: Iterable[str]) -> int:
+        removed = 0
+        for digest in list(digests):
+            stored = self._by_digest.pop(digest, None)
+            if stored is None:
+                continue
+            removed += 1
             bucket_digests = self._buckets.get(stored.bucket)
             if bucket_digests is not None:
                 bucket_digests.pop(digest, None)
                 if not bucket_digests:
                     del self._buckets[stored.bucket]
-        return len(expired)
+        return removed
 
     def __len__(self) -> int:
         return len(self._by_digest)
@@ -211,6 +230,12 @@ class PathService:
     max_paths_per_key: int = 20
     _by_digest: Dict[str, RegisteredPath] = field(default_factory=dict)
     _quota: Dict[Tuple[str, int, Optional[int]], int] = field(default_factory=dict)
+    #: Which quota keys each stored digest actually consumed a slot of, so
+    #: removal releases exactly what registration took (merged criteria
+    #: tags do not consume — and therefore do not release — extra slots).
+    _consumed: Dict[str, Tuple[Tuple[str, int, Optional[int]], ...]] = field(
+        default_factory=dict
+    )
 
     def register(self, path: RegisteredPath) -> bool:
         """Register ``path``; return whether it was accepted (or merged)."""
@@ -225,16 +250,17 @@ class PathService:
             )
             return True
 
-        accepted = False
+        consumed = []
         for tag in path.criteria_tags:
             key = (tag, path.segment.origin_as, path.segment.interface_group_id)
             used = self._quota.get(key, 0)
             if used < self.max_paths_per_key:
                 self._quota[key] = used + 1
-                accepted = True
-        if not accepted:
+                consumed.append(key)
+        if not consumed:
             return False
         self._by_digest[digest] = path
+        self._consumed[digest] = tuple(consumed)
         return True
 
     def paths_to(self, origin_as: int) -> List[RegisteredPath]:
@@ -251,14 +277,38 @@ class PathService:
 
     def remove_expired(self, now_ms: float) -> int:
         """Drop registered paths whose segments have expired."""
-        expired = [
+        return self._remove_digests(
             digest
             for digest, path in self._by_digest.items()
             if path.segment.is_expired(now_ms)
-        ]
-        for digest in expired:
-            del self._by_digest[digest]
-        return len(expired)
+        )
+
+    def remove_matching(self, predicate: Callable[[RegisteredPath], bool]) -> int:
+        """Drop every registered path satisfying ``predicate``; return the count.
+
+        Used by the dynamic-scenario engine to withdraw paths crossing a
+        failed link (or a departed AS) immediately instead of waiting for
+        segment expiry.
+        """
+        return self._remove_digests(
+            digest for digest, path in self._by_digest.items() if predicate(path)
+        )
+
+    def _remove_digests(self, digests: Iterable[str]) -> int:
+        """Remove paths by digest, releasing exactly the quota they consumed."""
+        removed = 0
+        for digest in list(digests):
+            path = self._by_digest.pop(digest, None)
+            if path is None:
+                continue
+            removed += 1
+            for key in self._consumed.pop(digest, ()):
+                used = self._quota.get(key, 0)
+                if used > 1:
+                    self._quota[key] = used - 1
+                elif used == 1:
+                    del self._quota[key]
+        return removed
 
     def __len__(self) -> int:
         return len(self._by_digest)

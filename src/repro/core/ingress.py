@@ -133,6 +133,17 @@ class IngressGateway:
     stats: IngressStats = field(default_factory=IngressStats)
     verified_prefixes: VerifiedPrefixCache = field(default_factory=VerifiedPrefixCache)
 
+    def use_verifier(self, verifier: Verifier) -> None:
+        """Replace the gateway's verifier (e.g. after a key-store rotation).
+
+        The verified-prefix cache only proves that prefixes verified against
+        the *previous* verifier's key store, so it is invalidated: keeping it
+        would let a beacon signed under the old keys skip re-verification
+        under the new ones.
+        """
+        self.verifier = verifier
+        self.verified_prefixes.clear()
+
     def receive(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
         """Process one incoming beacon.
 

@@ -29,12 +29,14 @@ from repro.core.databases import (
     RegisteredPath,
     StoredBeacon,
 )
+from repro.core.control_service import purge_as_state, purge_link_state
 from repro.core.ingress import IngressGateway
 from repro.core.local_view import LocalTopologyView
 from repro.core.transport import ControlPlaneTransport
 from repro.crypto.keys import KeyStore
 from repro.crypto.signer import Signer, Verifier
 from repro.exceptions import UnknownAlgorithmError
+from repro.topology.entities import LinkID
 
 
 @dataclass
@@ -107,6 +109,21 @@ class LegacyControlService:
     def serve_algorithm(self, algorithm_id: str) -> bytes:
         """Legacy ASes publish no on-demand algorithms."""
         raise UnknownAlgorithmError(algorithm_id)
+
+    # ------------------------------------------------------------------
+    # dynamic-topology events (same surface as the IREC service)
+    # ------------------------------------------------------------------
+    def set_policies(self, policies: Sequence) -> None:
+        """Replace the ingress gateway's admission policies atomically."""
+        self.ingress.policies = list(policies)
+
+    def invalidate_link(self, link_id: LinkID) -> Tuple[int, int]:
+        """Withdraw beacons/paths crossing a failed link; return the counts."""
+        return purge_link_state(self.as_id, self.ingress.database, self.path_service, link_id)
+
+    def invalidate_as(self, gone_as: int) -> Tuple[int, int]:
+        """Withdraw beacons/paths crossing a departed AS; return the counts."""
+        return purge_as_state(self.ingress.database, self.path_service, gone_as)
 
     # ------------------------------------------------------------------
     # beaconing

@@ -10,15 +10,36 @@ topology.  This package provides the equivalent machinery in pure Python:
 * :mod:`repro.simulation.collector` — per-interface, per-period PCB
   counters and other measurement hooks,
 * :mod:`repro.simulation.scenario` — declarative description of which
-  algorithms run in which ASes (the paper's 1SP/5SP/HD/DO/PD setups), and
+  algorithms run in which ASes (the paper's 1SP/5SP/HD/DO/PD setups),
+* :mod:`repro.simulation.events` — typed dynamic events (link failures,
+  churn, policy/RAC swaps, period changes), the timeline builder DSL and
+  seeded random failure/churn generators, and
 * :mod:`repro.simulation.beaconing` — the periodic beaconing driver that
-  originates PCBs, delivers them and runs every AS's RACs each period.
+  originates PCBs, delivers them, runs every AS's RACs each period, applies
+  the scenario timeline and measures convergence of watched AS pairs.
 """
 
 from repro.simulation.beaconing import BeaconingSimulation, SimulationResult
-from repro.simulation.collector import MetricsCollector
+from repro.simulation.collector import (
+    ConvergenceCollector,
+    DisruptionRecord,
+    MetricsCollector,
+)
 from repro.simulation.engine import EventScheduler
-from repro.simulation.failures import LinkFailureInjector
+from repro.simulation.events import (
+    ASJoin,
+    ASLeave,
+    BeaconPeriodChange,
+    LinkFailure,
+    LinkRecovery,
+    PolicySwap,
+    RACSwap,
+    ScenarioTimeline,
+    TimedEvent,
+    random_churn,
+    random_link_failures,
+)
+from repro.simulation.failures import LinkFailureInjector, LinkState
 from repro.simulation.network import SimulatedTransport
 from repro.simulation.scenario import (
     AlgorithmSpec,
@@ -27,13 +48,27 @@ from repro.simulation.scenario import (
 )
 
 __all__ = [
+    "ASJoin",
+    "ASLeave",
     "AlgorithmSpec",
+    "BeaconPeriodChange",
     "BeaconingSimulation",
+    "ConvergenceCollector",
+    "DisruptionRecord",
     "EventScheduler",
+    "LinkFailure",
     "LinkFailureInjector",
+    "LinkRecovery",
+    "LinkState",
     "MetricsCollector",
+    "PolicySwap",
+    "RACSwap",
     "ScenarioConfig",
+    "ScenarioTimeline",
     "SimulatedTransport",
     "SimulationResult",
+    "TimedEvent",
     "paper_algorithm_suite",
+    "random_churn",
+    "random_link_failures",
 ]

@@ -10,6 +10,14 @@ Figure-8 analyses.
 The driver also hosts pull-based disjointness orchestrators, advancing them
 after every period so that the PD experiment can run inside the same
 simulation.
+
+Dynamic scenarios add a timeline of typed events
+(:mod:`repro.simulation.events`) that the driver schedules on its
+discrete-event scheduler, so a link failure scheduled mid-period really
+interrupts propagation: in-flight PCBs on the link are lost, every control
+service withdraws state crossing the failed element, and the
+:class:`~repro.simulation.collector.ConvergenceCollector` measures how
+watched AS pairs recover over the following periods.
 """
 
 from __future__ import annotations
@@ -21,12 +29,23 @@ from repro.core.control_service import ControlServiceConfig, IrecControlService,
 from repro.core.local_view import LocalTopologyView
 from repro.core.pull import PullBasedDisjointnessOrchestrator, PullState
 from repro.crypto.keys import KeyStore
-from repro.exceptions import ConfigurationError, UnknownASError
+from repro.exceptions import ConfigurationError, SimulationError, UnknownASError
 from repro.scion.legacy import LegacyControlService
-from repro.simulation.collector import MetricsCollector
+from repro.simulation.collector import ConvergenceCollector, MetricsCollector
 from repro.simulation.engine import EventScheduler
+from repro.simulation.events import (
+    ASJoin,
+    ASLeave,
+    BeaconPeriodChange,
+    LinkFailure,
+    LinkRecovery,
+    PolicySwap,
+    RACSwap,
+    TimedEvent,
+)
+from repro.simulation.failures import LinkState
 from repro.simulation.network import SimulatedTransport
-from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.scenario import AlgorithmSpec, ScenarioConfig
 from repro.topology.graph import Topology
 from repro.topology.intra_domain import IntraDomainRegistry
 
@@ -44,6 +63,8 @@ class SimulationResult:
     round_reports: List[RoundReport] = field(default_factory=list)
     periods_run: int = 0
     final_time_ms: float = 0.0
+    convergence: ConvergenceCollector = field(default_factory=ConvergenceCollector)
+    link_state: LinkState = field(default_factory=LinkState)
 
     def service(self, as_id: int) -> AnyControlService:
         """Return the control service of ``as_id``."""
@@ -73,17 +94,29 @@ class BeaconingSimulation:
         self.intra_domain = intra_domain or IntraDomainRegistry()
         self.scheduler = EventScheduler()
         self.collector = MetricsCollector(period_ms=scenario.propagation_interval_ms)
+        self.link_state = LinkState()
+        self.convergence = ConvergenceCollector()
         self.transport = SimulatedTransport(
             topology=topology,
             scheduler=self.scheduler,
             collector=self.collector,
             processing_delay_ms=scenario.processing_delay_ms,
+            link_state=self.link_state,
         )
         self.services: Dict[int, AnyControlService] = {}
         self.orchestrators: List[PullBasedDisjointnessOrchestrator] = []
         self.round_reports: List[RoundReport] = []
+        self.watched_pairs: List[Tuple[int, int]] = []
         self._periods_run = 0
+        self._interval_ms = scenario.propagation_interval_ms
+        self._next_period_start_ms = 0.0
+        self._horizon_reached = False
+        self._deferred_events: List[TimedEvent] = []
+        #: Per-AS deployed RAC specs, kept in sync by RACSwap so a churned
+        #: AS can be cold-restarted with its *current* deployment.
+        self._deployed_specs: Dict[int, Dict[str, AlgorithmSpec]] = {}
         self._build_services()
+        self._schedule_timeline()
 
     # ------------------------------------------------------------------
     # construction
@@ -113,25 +146,63 @@ class BeaconingSimulation:
                         verify_signatures=self.scenario.verify_signatures,
                     ),
                 )
+                specs = self._deployed_specs.setdefault(as_info.as_id, {})
                 for spec in self.scenario.algorithms:
-                    if spec.on_demand:
-                        service.add_on_demand_rac(
-                            rac_id=spec.rac_id,
-                            max_paths_per_interface=spec.max_paths_per_interface,
-                            registration_limit=spec.registration_limit,
-                        )
-                    else:
-                        assert spec.factory is not None  # validated by AlgorithmSpec
-                        service.add_static_rac(
-                            rac_id=spec.rac_id,
-                            algorithm=spec.factory(),
-                            max_paths_per_interface=spec.max_paths_per_interface,
-                            registration_limit=spec.registration_limit,
-                            use_interface_groups=spec.use_interface_groups,
-                            use_targets=spec.use_targets,
-                        )
+                    self._install_rac(service, spec)
+                    specs[spec.rac_id] = spec
             self.services[as_info.as_id] = service
             self.transport.register(service)
+
+    @staticmethod
+    def _install_rac(service: IrecControlService, spec: AlgorithmSpec) -> None:
+        """Install one RAC described by ``spec`` (deployment and hot-swap)."""
+        if spec.on_demand:
+            service.add_on_demand_rac(
+                rac_id=spec.rac_id,
+                max_paths_per_interface=spec.max_paths_per_interface,
+                registration_limit=spec.registration_limit,
+            )
+        else:
+            assert spec.factory is not None  # validated by AlgorithmSpec
+            service.add_static_rac(
+                rac_id=spec.rac_id,
+                algorithm=spec.factory(),
+                max_paths_per_interface=spec.max_paths_per_interface,
+                registration_limit=spec.registration_limit,
+                use_interface_groups=spec.use_interface_groups,
+                use_targets=spec.use_targets,
+            )
+
+    def _schedule_timeline(self) -> None:
+        """Schedule every timeline event on the discrete-event scheduler.
+
+        Events beyond the simulated horizon (``periods`` × interval, as
+        modified by period changes) do not fire during the run; ones
+        landing in the final in-flight flush window are deferred to the
+        next ``run()`` (if any).  Events sharing a timestamp with PCB
+        deliveries apply first: they were scheduled earlier, and the
+        scheduler breaks ties FIFO.
+        """
+        for timed in self.scenario.timeline:
+            link_kinds = (LinkFailure, LinkRecovery)
+            if isinstance(timed.event, link_kinds) and timed.event.link_id not in self.topology.links:
+                raise SimulationError(
+                    f"timeline event {timed.trace_label()!r} references an unknown link"
+                )
+            if isinstance(timed.event, (ASLeave, ASJoin)) and timed.event.as_id not in self.topology:
+                raise SimulationError(
+                    f"timeline event {timed.trace_label()!r} references an unknown AS"
+                )
+            if isinstance(timed.event, (PolicySwap, RACSwap)) and timed.event.as_ids is not None:
+                for as_id in timed.event.as_ids:
+                    if as_id not in self.services:
+                        raise SimulationError(
+                            f"timeline event {timed.trace_label()!r} targets unknown AS {as_id}"
+                        )
+            self.scheduler.schedule_at(
+                timed.time_ms,
+                lambda now_ms, _timed=timed: self._apply_event(_timed, now_ms),
+            )
 
     # ------------------------------------------------------------------
     # orchestrators (pull-based disjointness)
@@ -159,6 +230,142 @@ class BeaconingSimulation:
         return orchestrator
 
     # ------------------------------------------------------------------
+    # dynamic events and convergence
+    # ------------------------------------------------------------------
+    def watch_pair(self, source_as: int, destination_as: int) -> None:
+        """Track convergence of the paths registered at ``source_as``
+        towards ``destination_as`` across dynamic events."""
+        for as_id in (source_as, destination_as):
+            if as_id not in self.topology:
+                raise UnknownASError(as_id)
+        pair = (source_as, destination_as)
+        if pair not in self.watched_pairs:
+            self.watched_pairs.append(pair)
+
+    def usable_path_count(self, source_as: int, destination_as: int) -> int:
+        """Return how many registered paths of the pair are usable right now.
+
+        A registered path is usable when the watched endpoints are online
+        and every inter-domain link on its segment is currently available.
+        """
+        if not (self.link_state.is_as_up(source_as) and self.link_state.is_as_up(destination_as)):
+            return 0
+        paths = self.services[source_as].path_service.paths_to(destination_as)
+        return sum(
+            1 for path in paths if self.link_state.path_available(path.segment.links())
+        )
+
+    def _watched_counts(self) -> Dict[Tuple[int, int], int]:
+        return {
+            pair: self.usable_path_count(*pair) for pair in self.watched_pairs
+        }
+
+    def _apply_event(self, timed: TimedEvent, now_ms: float) -> None:
+        """Apply one timeline event and feed the convergence collector."""
+        if self._horizon_reached:
+            # Events landing in the final in-flight flush (just past the
+            # last period) are beyond the simulated horizon: no period of
+            # this run would observe their effects.  They are deferred, not
+            # dropped, so a later run() continuing the simulation still
+            # applies them (at the start of its first period).
+            self._deferred_events.append(timed)
+            return
+        before = self._watched_counts()
+        event = timed.event
+        if isinstance(event, LinkFailure):
+            self.link_state.fail_link(event.link_id)
+            self._flood_invalidation("invalidate_link", event.link_id)
+        elif isinstance(event, LinkRecovery):
+            self.link_state.restore_link(event.link_id)
+        elif isinstance(event, ASLeave):
+            self.link_state.set_as_offline(event.as_id)
+            # The departing AS restarts cold, and everyone else withdraws
+            # state crossing it.
+            self._cold_restart(self.services[event.as_id])
+            self._flood_invalidation("invalidate_as", event.as_id, skip_as=event.as_id)
+        elif isinstance(event, ASJoin):
+            self.link_state.set_as_online(event.as_id)
+        elif isinstance(event, PolicySwap):
+            # Both service flavours expose set_policies (the legacy ingress
+            # gateway honours admission policies too).
+            for service in self._event_targets(event.as_ids):
+                service.set_policies(list(event.policies))
+        elif isinstance(event, RACSwap):
+            for service in self._event_targets(event.as_ids):
+                if not isinstance(service, IrecControlService):
+                    if event.as_ids is None:
+                        continue  # broadcast swaps skip legacy ASes
+                    raise SimulationError(
+                        f"RAC swap explicitly targets AS {service.as_id}, "
+                        "which runs the legacy control service"
+                    )
+                if not service.remove_rac(event.target_rac_id):
+                    if event.as_ids is None:
+                        # Broadcast swaps tolerate ASes that (no longer)
+                        # deploy the target RAC — e.g. after an earlier
+                        # per-AS swap — just as they tolerate legacy ASes.
+                        continue
+                    raise SimulationError(
+                        f"RAC swap targets {event.target_rac_id!r}, which is not "
+                        f"deployed at AS {service.as_id}"
+                    )
+                self._install_rac(service, event.spec)
+                specs = self._deployed_specs.setdefault(service.as_id, {})
+                specs.pop(event.target_rac_id, None)
+                specs[event.spec.rac_id] = event.spec
+        elif isinstance(event, BeaconPeriodChange):
+            self._interval_ms = event.interval_ms
+        else:
+            raise SimulationError(f"unsupported scenario event {event!r}")
+
+        after = self._watched_counts()
+        self.convergence.on_event(
+            event_label=event.trace_label(),
+            now_ms=now_ms,
+            pair_paths={pair: (before[pair], after[pair]) for pair in before},
+            messages_total=self.collector.control_messages_total(),
+        )
+
+    def _cold_restart(self, service: AnyControlService) -> None:
+        """Wipe a departing AS's volatile control-plane state.
+
+        A churned AS comes back as a freshly booted deployment: empty
+        ingress database and path service, a cold verified-prefix cache
+        and — for IREC ASes — freshly instantiated RACs of its current
+        deployment (algorithm state must not survive the restart).
+        """
+        service.ingress.database.remove_matching(lambda _stored: True)
+        service.path_service.remove_matching(lambda _path: True)
+        service.ingress.verified_prefixes.clear()
+        if isinstance(service, IrecControlService):
+            service.pull_results.clear()
+            for spec in self._deployed_specs.get(service.as_id, {}).values():
+                service.remove_rac(spec.rac_id)
+                self._install_rac(service, spec)
+
+    def _event_targets(self, as_ids: Optional[Tuple[int, ...]]) -> List[AnyControlService]:
+        if as_ids is None:
+            return self._services_in_order()
+        for as_id in as_ids:
+            if as_id not in self.services:
+                raise UnknownASError(as_id)
+        return [self.services[as_id] for as_id in sorted(as_ids)]
+
+    def _flood_invalidation(self, method: str, argument, skip_as: Optional[int] = None) -> None:
+        """Invalidate state at every online AS, counting the notifications.
+
+        Models the revocation flood that follows a failure: one control
+        message per notified AS, recorded as overhead in the collector.
+        """
+        notified = 0
+        for service in self._services_in_order():
+            if service.as_id == skip_as or not self.link_state.is_as_up(service.as_id):
+                continue
+            getattr(service, method)(argument)
+            notified += 1
+        self.collector.record_revocations(notified)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run_period(self) -> List[RoundReport]:
@@ -169,31 +376,56 @@ class BeaconingSimulation:
         one RAC round at every AS, another delivery phase so that freshly
         propagated PCBs reach their neighbours before the period ends, and
         finally an advancement step for every pull orchestrator.
+
+        Timeline events fire inside the delivery phases (the scheduler
+        processes them in time order with in-flight PCBs), offline ASes
+        neither originate nor run rounds, and at the period boundary every
+        watched pair is probed for convergence.  A period change applies
+        from the next period onwards.
         """
-        period_start_ms = self._periods_run * self.scenario.propagation_interval_ms
-        mid_period_ms = period_start_ms + self.scenario.propagation_interval_ms / 2.0
-        period_end_ms = period_start_ms + self.scenario.propagation_interval_ms
+        period_start_ms = self._next_period_start_ms
+        mid_period_ms = period_start_ms + self._interval_ms / 2.0
+        period_end_ms = period_start_ms + self._interval_ms
 
         self.scheduler.run_until(period_start_ms)
+        if self._deferred_events:
+            # Events deferred by a previous run()'s flush apply now, at the
+            # first instant a period can observe them.
+            deferred, self._deferred_events = self._deferred_events, []
+            for timed in deferred:
+                self._apply_event(timed, self.scheduler.now_ms)
         for service in self._services_in_order():
-            service.originate(now_ms=self.scheduler.now_ms)
+            if self.link_state.is_as_up(service.as_id):
+                service.originate(now_ms=self.scheduler.now_ms)
         self.scheduler.run_until(mid_period_ms)
 
         reports: List[RoundReport] = []
         for service in self._services_in_order():
+            if not self.link_state.is_as_up(service.as_id):
+                continue
             report = service.run_round(now_ms=self.scheduler.now_ms)
             if isinstance(report, RoundReport):
                 reports.append(report)
         self.scheduler.run_until(period_end_ms)
 
         for orchestrator in self.orchestrators:
+            if not self.link_state.is_as_up(orchestrator.service.as_id):
+                continue
             if orchestrator.state is PullState.IDLE:
                 orchestrator.start(now_ms=self.scheduler.now_ms)
             else:
                 orchestrator.advance(now_ms=self.scheduler.now_ms)
 
+        if self.watched_pairs:
+            self.convergence.on_period_end(
+                now_ms=self.scheduler.now_ms,
+                pair_paths=self._watched_counts(),
+                messages_total=self.collector.control_messages_total(),
+            )
+
         self.round_reports.extend(reports)
         self._periods_run += 1
+        self._next_period_start_ms = period_end_ms
         return reports
 
     def run(self, periods: Optional[int] = None) -> SimulationResult:
@@ -201,8 +433,11 @@ class BeaconingSimulation:
         total = periods if periods is not None else self.scenario.periods
         for _ in range(total):
             self.run_period()
-        # Flush any remaining in-flight deliveries.
-        self.scheduler.run_until(self._periods_run * self.scenario.propagation_interval_ms + 1.0)
+        # Flush any remaining in-flight deliveries; timeline events in the
+        # flush window are beyond the horizon and suppressed.
+        self._horizon_reached = True
+        self.scheduler.run_until(self._next_period_start_ms + 1.0)
+        self._horizon_reached = False
         return SimulationResult(
             topology=self.topology,
             services=dict(self.services),
@@ -210,6 +445,8 @@ class BeaconingSimulation:
             round_reports=list(self.round_reports),
             periods_run=self._periods_run,
             final_time_ms=self.scheduler.now_ms,
+            convergence=self.convergence,
+            link_state=self.link_state,
         )
 
     def _services_in_order(self) -> List[AnyControlService]:

@@ -4,6 +4,12 @@ The collector records every control-plane transmission: which AS sent a PCB
 over which interface during which beaconing period.  Those counts are the
 raw material of Figure 8c ("PCBs per interface per period") and of the
 general message-complexity discussion in §VIII-C.
+
+Dynamic scenarios additionally record dropped transmissions (PCBs lost on
+failed links), revocation notifications, and — through the
+:class:`ConvergenceCollector` — per-event disruption records: paths lost,
+paths regained, time-to-recovery and the control-message overhead spent
+converging.
 """
 
 from __future__ import annotations
@@ -31,6 +37,8 @@ class MetricsCollector:
     _returned: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _fetches: int = 0
     total_sent: int = 0
+    total_dropped: int = 0
+    total_revocations: int = 0
 
     def record_send(self, sender_as: int, interface_id: int, time_ms: float) -> None:
         """Record one PCB transmission."""
@@ -46,6 +54,14 @@ class MetricsCollector:
     def record_algorithm_fetch(self) -> None:
         """Record one remote algorithm payload fetch."""
         self._fetches += 1
+
+    def record_drop(self, time_ms: float) -> None:
+        """Record one PCB lost on an unavailable link (dynamic scenarios)."""
+        self.total_dropped += 1
+
+    def record_revocations(self, count: int) -> None:
+        """Record revocation notifications flooded after a failure event."""
+        self.total_revocations += count
 
     # ------------------------------------------------------------------
     # queries
@@ -82,9 +98,215 @@ class MetricsCollector:
         """Return the total number of remote payload fetches recorded."""
         return self._fetches
 
+    def control_messages_total(self) -> int:
+        """Return every control-plane message sent so far.
+
+        Sends (including ones later dropped in flight), pull returns and
+        revocation notifications all count; the convergence collector
+        snapshots this to attribute overhead to individual events.
+        """
+        return self.total_sent + self.returned_beacons() + self.total_revocations
+
     def reset(self) -> None:
         """Zero all counters."""
         self._counts.clear()
         self._returned.clear()
         self._fetches = 0
         self.total_sent = 0
+        self.total_dropped = 0
+        self.total_revocations = 0
+
+
+@dataclass
+class DisruptionRecord:
+    """One watched pair's disruption caused by one dynamic event.
+
+    Attributes:
+        event_label: Stable trace label of the causing timed event.
+        event_time_ms: When the event fired.
+        source_as: Watched source (where registered paths are probed).
+        destination_as: Watched destination (the paths' origin AS).
+        paths_before: Usable registered paths immediately before the event.
+        paths_after: Usable registered paths immediately after the event.
+        messages_at_event: Control-message snapshot when the event fired.
+        recovered_at_ms: Period-end time at which the pair was observed
+            recovered (usable paths back to at least ``paths_before``), or
+            ``None`` while still disrupted.
+        paths_at_recovery: Usable paths at the recovery observation.
+        messages_at_recovery: Control-message snapshot at recovery.
+    """
+
+    event_label: str
+    event_time_ms: float
+    source_as: int
+    destination_as: int
+    paths_before: int
+    paths_after: int
+    messages_at_event: int
+    recovered_at_ms: Optional[float] = None
+    paths_at_recovery: int = 0
+    messages_at_recovery: Optional[int] = None
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """Return the watched (source, destination) pair."""
+        return (self.source_as, self.destination_as)
+
+    @property
+    def paths_lost(self) -> int:
+        """Return how many usable paths the event destroyed."""
+        return self.paths_before - self.paths_after
+
+    @property
+    def paths_regained(self) -> int:
+        """Return how many usable paths reappeared by the recovery probe."""
+        if self.recovered_at_ms is None:
+            return 0
+        return self.paths_at_recovery - self.paths_after
+
+    @property
+    def recovered(self) -> bool:
+        """Return whether the disruption has healed."""
+        return self.recovered_at_ms is not None
+
+    @property
+    def time_to_recovery_ms(self) -> Optional[float]:
+        """Return the observed recovery latency, or ``None`` if still down."""
+        if self.recovered_at_ms is None:
+            return None
+        return self.recovered_at_ms - self.event_time_ms
+
+    @property
+    def control_message_overhead(self) -> Optional[int]:
+        """Return control messages sent network-wide during the disruption."""
+        if self.messages_at_recovery is None:
+            return None
+        return self.messages_at_recovery - self.messages_at_event
+
+    def trace_label(self) -> str:
+        """Return the stable one-line trace representation of the record."""
+        recovered = (
+            f"{self.recovered_at_ms:.3f}" if self.recovered_at_ms is not None else "-"
+        )
+        return (
+            f"disruption ({self.source_as},{self.destination_as})"
+            f" by [{self.event_time_ms:.3f} {self.event_label}]"
+            f" lost={self.paths_lost} regained={self.paths_regained}"
+            f" recovered_at={recovered}"
+        )
+
+
+@dataclass
+class ConvergenceCollector:
+    """Tracks how watched AS pairs recover from dynamic events.
+
+    The beaconing driver feeds it from two places: when a timeline event
+    fires (with per-pair usable-path counts before and after applying it)
+    and at every period end (with the current usable-path counts).  A
+    disruption opens when an event destroys at least one usable path of a
+    watched pair and closes at the first period-end probe at which the pair
+    has recovered its pre-event path count; the time in between is the
+    pair's time-to-recovery for that event.
+
+    Every observation also appends one line to :attr:`trace`, giving a
+    deterministic event/convergence log that the golden-trace regression
+    test digests.
+    """
+
+    records: List[DisruptionRecord] = field(default_factory=list)
+    trace: List[str] = field(default_factory=list)
+    _open: Dict[Tuple[int, int], DisruptionRecord] = field(default_factory=dict)
+
+    def on_event(
+        self,
+        event_label: str,
+        now_ms: float,
+        pair_paths: Dict[Tuple[int, int], Tuple[int, int]],
+        messages_total: int,
+    ) -> None:
+        """Record an applied event and open disruptions it caused.
+
+        Args:
+            event_label: The event's stable trace label.
+            now_ms: Time the event fired.
+            pair_paths: Per watched pair, (usable paths before, after).
+            messages_total: Control-message counter snapshot.
+        """
+        self.trace.append(f"{now_ms:.3f} event {event_label}")
+        for (source_as, destination_as), (before, after) in sorted(pair_paths.items()):
+            pair = (source_as, destination_as)
+            if after >= before:
+                continue
+            open_record = self._open.get(pair)
+            if open_record is None:
+                record = DisruptionRecord(
+                    event_label=event_label,
+                    event_time_ms=now_ms,
+                    source_as=source_as,
+                    destination_as=destination_as,
+                    paths_before=before,
+                    paths_after=after,
+                    messages_at_event=messages_total,
+                )
+                self._open[pair] = record
+                self.records.append(record)
+                self.trace.append(
+                    f"{now_ms:.3f} disrupt ({source_as},{destination_as}) "
+                    f"{before}->{after}"
+                )
+            else:
+                # A further event disrupted an already-open record (possibly
+                # after partial recovery): the record keeps its original
+                # event and paths_before (recovery is still measured against
+                # the pre-outage state), the low-water mark only deepens,
+                # and the trace always shows the hit.
+                open_record.paths_after = min(open_record.paths_after, after)
+                self.trace.append(
+                    f"{now_ms:.3f} deepen ({source_as},{destination_as}) "
+                    f"{before}->{after}"
+                )
+
+    def on_period_end(
+        self,
+        now_ms: float,
+        pair_paths: Dict[Tuple[int, int], int],
+        messages_total: int,
+    ) -> None:
+        """Probe watched pairs at a period boundary and close healed records."""
+        for (source_as, destination_as), usable in sorted(pair_paths.items()):
+            pair = (source_as, destination_as)
+            self.trace.append(
+                f"{now_ms:.3f} probe ({source_as},{destination_as}) paths={usable}"
+            )
+            record = self._open.get(pair)
+            if record is not None and usable >= record.paths_before:
+                record.recovered_at_ms = now_ms
+                record.paths_at_recovery = usable
+                record.messages_at_recovery = messages_total
+                del self._open[pair]
+                self.trace.append(
+                    f"{now_ms:.3f} recover ({source_as},{destination_as}) "
+                    f"paths={usable} ttr={record.time_to_recovery_ms:.3f}"
+                )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def current_outage_ms(self, source_as: int, destination_as: int, now_ms: float) -> float:
+        """Return how long the pair has been disrupted, or 0.0 if healthy."""
+        record = self._open.get((source_as, destination_as))
+        if record is None:
+            return 0.0
+        return now_ms - record.event_time_ms
+
+    def open_disruptions(self) -> List[DisruptionRecord]:
+        """Return the disruptions that have not recovered yet."""
+        return [record for record in self.records if not record.recovered]
+
+    def recovered_records(self) -> List[DisruptionRecord]:
+        """Return the disruptions that have healed, in open order."""
+        return [record for record in self.records if record.recovered]
+
+    def trace_text(self) -> str:
+        """Return the full deterministic trace as one newline-joined string."""
+        return "\n".join(self.trace)

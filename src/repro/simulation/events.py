@@ -1,0 +1,373 @@
+"""Typed scenario events and the dynamic-scenario timeline DSL.
+
+A static :class:`~repro.simulation.scenario.ScenarioConfig` describes one
+fixed deployment; real inter-domain control planes are dominated by churn
+and operator activity.  This module provides the vocabulary to script that
+dynamism:
+
+* **typed events** — link failure/recovery, AS leave/join (churn), per-AS
+  admission-policy swaps, RAC hot-swaps and beaconing-period changes,
+* a **timeline** of ``(time, event)`` pairs attached to a scenario and
+  executed by the beaconing driver through its discrete-event scheduler
+  (so an event scheduled mid-period really interrupts propagation), and
+* a small **builder DSL** (``timeline.at(t).fail_link(...)``) plus seeded
+  random failure/churn generators for reproducible what-if experiments.
+
+Every event renders to a stable one-line ``trace_label`` used by the
+golden-trace regression tests: two runs of the same seeded scenario must
+produce bit-for-bit identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+from repro.topology.entities import LinkID, normalize_link_id
+from repro.topology.graph import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenario ↔ events)
+    from repro.simulation.scenario import AlgorithmSpec
+
+
+def _format_link(link_id: LinkID) -> str:
+    (as_a, if_a), (as_b, if_b) = link_id
+    return f"{as_a}.{if_a}-{as_b}.{if_b}"
+
+
+class ScenarioEvent:
+    """Base class of all timed scenario events (marker + trace contract)."""
+
+    def trace_label(self) -> str:
+        """Return the stable one-line representation used in traces."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinkFailure(ScenarioEvent):
+    """An inter-domain link goes down.
+
+    In-flight PCBs on the link are lost, future sends over it are dropped,
+    and every control service withdraws beacons and registered paths whose
+    path crosses the link (modelling a revocation flood).
+    """
+
+    link_id: LinkID
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "link_id", normalize_link_id(*self.link_id))
+
+    def trace_label(self) -> str:
+        return f"fail_link {_format_link(self.link_id)}"
+
+
+@dataclass(frozen=True)
+class LinkRecovery(ScenarioEvent):
+    """A previously failed inter-domain link comes back up.
+
+    Recovery is silent: paths over the link reappear once the next
+    beaconing period re-propagates PCBs across it.
+    """
+
+    link_id: LinkID
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "link_id", normalize_link_id(*self.link_id))
+
+    def trace_label(self) -> str:
+        return f"recover_link {_format_link(self.link_id)}"
+
+
+@dataclass(frozen=True)
+class ASLeave(ScenarioEvent):
+    """An AS leaves the network (churn).
+
+    All of the AS's links become unusable, the AS stops originating and
+    processing beacons, and every other AS withdraws state crossing it.
+    """
+
+    as_id: int
+
+    def trace_label(self) -> str:
+        return f"as_leave {self.as_id}"
+
+
+@dataclass(frozen=True)
+class ASJoin(ScenarioEvent):
+    """A previously departed AS rejoins with its original links."""
+
+    as_id: int
+
+    def trace_label(self) -> str:
+        return f"as_join {self.as_id}"
+
+
+@dataclass(frozen=True)
+class PolicySwap(ScenarioEvent):
+    """Replace the admission policies of one AS (or of every AS).
+
+    Attributes:
+        policies: The new admission-policy callables (see
+            :mod:`repro.core.policies`); replaces the previous set.
+        as_ids: ASes to reconfigure; ``None`` means every IREC AS.
+        label: Stable human-readable name for traces (callables have no
+            deterministic repr).
+    """
+
+    policies: Tuple = ()
+    as_ids: Optional[Tuple[int, ...]] = None
+    label: str = "default"
+
+    def trace_label(self) -> str:
+        scope = "all" if self.as_ids is None else ",".join(str(a) for a in self.as_ids)
+        return f"policy_swap {self.label} @ {scope}"
+
+
+@dataclass(frozen=True)
+class RACSwap(ScenarioEvent):
+    """Hot-swap a routing algorithm container in one AS (or every AS).
+
+    The RAC named ``replace_rac_id`` (default: the new spec's ``rac_id``)
+    is removed and a fresh container built from ``spec`` is installed, as
+    if the operator deployed a new algorithm image.
+    """
+
+    spec: "AlgorithmSpec"
+    replace_rac_id: Optional[str] = None
+    as_ids: Optional[Tuple[int, ...]] = None
+
+    @property
+    def target_rac_id(self) -> str:
+        """Return the id of the RAC being replaced."""
+        return self.replace_rac_id or self.spec.rac_id
+
+    def trace_label(self) -> str:
+        scope = "all" if self.as_ids is None else ",".join(str(a) for a in self.as_ids)
+        return f"rac_swap {self.target_rac_id}->{self.spec.rac_id} @ {scope}"
+
+
+@dataclass(frozen=True)
+class BeaconPeriodChange(ScenarioEvent):
+    """Change the beaconing period for all *subsequent* periods.
+
+    The period already in progress finishes at its scheduled end; overhead
+    bins of the metrics collector keep the scenario's initial period length.
+    """
+
+    interval_ms: float
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ConfigurationError(
+                f"beaconing period must be positive, got {self.interval_ms}"
+            )
+
+    def trace_label(self) -> str:
+        return f"set_period {self.interval_ms:.3f}"
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """One scenario event pinned to an absolute simulated time."""
+
+    time_ms: float
+    event: ScenarioEvent
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ConfigurationError(f"event time must be non-negative, got {self.time_ms}")
+
+    def trace_label(self) -> str:
+        """Return the stable trace line of this timed event."""
+        return f"{self.time_ms:.3f} {self.event.trace_label()}"
+
+
+@dataclass
+class ScenarioTimeline:
+    """An ordered collection of timed events with a chaining builder DSL.
+
+    Events are kept in insertion order; the beaconing driver schedules them
+    on its discrete-event scheduler, which orders them by time with FIFO
+    tie-breaking — so same-time events apply in the order they were added.
+
+    Example::
+
+        timeline = ScenarioTimeline()
+        timeline.at(minutes(15)).fail_link(link).at(minutes(35)).recover_link(link)
+    """
+
+    _events: List[TimedEvent] = field(default_factory=list)
+
+    def at(self, time_ms: float) -> "TimelineCursor":
+        """Return a cursor adding events at absolute time ``time_ms``."""
+        return TimelineCursor(timeline=self, time_ms=time_ms)
+
+    def add(self, time_ms: float, event: ScenarioEvent) -> "ScenarioTimeline":
+        """Append one event at ``time_ms``; return the timeline (chainable)."""
+        self._events.append(TimedEvent(time_ms=time_ms, event=event))
+        return self
+
+    def extend(self, timed_events: Sequence[TimedEvent]) -> "ScenarioTimeline":
+        """Append pre-built timed events (e.g. from the random generators)."""
+        for timed in timed_events:
+            if not isinstance(timed, TimedEvent):
+                raise ConfigurationError(f"expected TimedEvent, got {timed!r}")
+            self._events.append(timed)
+        return self
+
+    @property
+    def events(self) -> Tuple[TimedEvent, ...]:
+        """Return the timed events in insertion order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+
+@dataclass
+class TimelineCursor:
+    """Builder cursor of :class:`ScenarioTimeline` pinned to one time."""
+
+    timeline: ScenarioTimeline
+    time_ms: float
+
+    def at(self, time_ms: float) -> "TimelineCursor":
+        """Move the cursor to a different absolute time."""
+        return TimelineCursor(timeline=self.timeline, time_ms=time_ms)
+
+    def _add(self, event: ScenarioEvent) -> "TimelineCursor":
+        self.timeline.add(self.time_ms, event)
+        return self
+
+    def fail_link(self, link_id: LinkID) -> "TimelineCursor":
+        """Fail an inter-domain link."""
+        return self._add(LinkFailure(link_id=link_id))
+
+    def recover_link(self, link_id: LinkID) -> "TimelineCursor":
+        """Recover a previously failed link."""
+        return self._add(LinkRecovery(link_id=link_id))
+
+    def as_leave(self, as_id: int) -> "TimelineCursor":
+        """Remove an AS from the network (churn)."""
+        return self._add(ASLeave(as_id=as_id))
+
+    def as_join(self, as_id: int) -> "TimelineCursor":
+        """Bring a previously departed AS back."""
+        return self._add(ASJoin(as_id=as_id))
+
+    def swap_policies(
+        self,
+        policies: Sequence,
+        as_ids: Optional[Sequence[int]] = None,
+        label: str = "default",
+    ) -> "TimelineCursor":
+        """Replace admission policies at ``as_ids`` (default: everywhere)."""
+        return self._add(
+            PolicySwap(
+                policies=tuple(policies),
+                as_ids=tuple(as_ids) if as_ids is not None else None,
+                label=label,
+            )
+        )
+
+    def swap_rac(
+        self,
+        spec: "AlgorithmSpec",
+        replace_rac_id: Optional[str] = None,
+        as_ids: Optional[Sequence[int]] = None,
+    ) -> "TimelineCursor":
+        """Hot-swap a RAC at ``as_ids`` (default: every IREC AS)."""
+        return self._add(
+            RACSwap(
+                spec=spec,
+                replace_rac_id=replace_rac_id,
+                as_ids=tuple(as_ids) if as_ids is not None else None,
+            )
+        )
+
+    def set_beacon_period(self, interval_ms: float) -> "TimelineCursor":
+        """Change the beaconing period for subsequent periods."""
+        return self._add(BeaconPeriodChange(interval_ms=interval_ms))
+
+
+# ----------------------------------------------------------------------
+# seeded random event generators
+# ----------------------------------------------------------------------
+def random_link_failures(
+    topology: Topology,
+    count: int,
+    rng: random.Random,
+    start_ms: float,
+    spacing_ms: float,
+    recovery_after_ms: Optional[float] = None,
+    candidates: Optional[Sequence[LinkID]] = None,
+) -> List[TimedEvent]:
+    """Generate ``count`` failures of distinct random links.
+
+    Failures fire at ``start_ms, start_ms + spacing_ms, ...``; when
+    ``recovery_after_ms`` is given, each link recovers that long after its
+    failure.  Candidate links default to every link and are drawn in
+    sorted order, so a seeded ``rng`` makes the schedule fully
+    reproducible; restrict ``candidates`` (e.g. to the links of one AS) to
+    aim the failures.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if candidates is not None:
+        pool = sorted(normalize_link_id(*link) for link in candidates)
+    else:
+        pool = list(topology.link_ids())
+    chosen = rng.sample(pool, k=min(count, len(pool)))
+    events: List[TimedEvent] = []
+    for index, link in enumerate(chosen):
+        fail_at = start_ms + index * spacing_ms
+        events.append(TimedEvent(time_ms=fail_at, event=LinkFailure(link_id=link)))
+        if recovery_after_ms is not None:
+            events.append(
+                TimedEvent(
+                    time_ms=fail_at + recovery_after_ms,
+                    event=LinkRecovery(link_id=link),
+                )
+            )
+    return events
+
+
+def random_churn(
+    topology: Topology,
+    count: int,
+    rng: random.Random,
+    start_ms: float,
+    spacing_ms: float,
+    downtime_ms: Optional[float] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> List[TimedEvent]:
+    """Generate leave (and optional rejoin) events for random ASes.
+
+    Args:
+        topology: Topology the ASes are drawn from.
+        count: Number of distinct ASes to churn.
+        rng: Seeded random generator (determinism is the caller's contract).
+        start_ms: Time of the first leave.
+        spacing_ms: Gap between consecutive leaves.
+        downtime_ms: When given, each AS rejoins that long after leaving.
+        candidates: Restrict the draw (e.g. to stub ASes so the topology
+            stays connected); defaults to every AS.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    pool = sorted(int(a) for a in (candidates if candidates is not None else topology.as_ids()))
+    chosen = rng.sample(pool, k=min(count, len(pool)))
+    events: List[TimedEvent] = []
+    for index, as_id in enumerate(chosen):
+        leave_at = start_ms + index * spacing_ms
+        events.append(TimedEvent(time_ms=leave_at, event=ASLeave(as_id=as_id)))
+        if downtime_ms is not None:
+            events.append(
+                TimedEvent(time_ms=leave_at + downtime_ms, event=ASJoin(as_id=as_id))
+            )
+    return events

@@ -21,11 +21,79 @@ from repro.topology.graph import Topology
 
 
 @dataclass
+class LinkState:
+    """Live availability of links and ASes during a dynamic simulation.
+
+    One instance is shared between the beaconing driver (which mutates it
+    when timeline events fire) and the simulated transport (which consults
+    it on every send *and* every delivery, so a link failing mid-flight
+    loses the PCBs currently on it).
+
+    A link is available only if it is not failed and both endpoint ASes
+    are online; an offline AS implicitly takes all of its links down.
+    """
+
+    failed_links: Set[LinkID] = field(default_factory=set)
+    offline_ases: Set[int] = field(default_factory=set)
+
+    def fail_link(self, link_id: LinkID) -> None:
+        """Mark one link as failed."""
+        self.failed_links.add(normalize_link_id(*link_id))
+
+    def restore_link(self, link_id: LinkID) -> None:
+        """Bring one link back up (no-op if it was not failed)."""
+        self.failed_links.discard(normalize_link_id(*link_id))
+
+    def set_as_offline(self, as_id: int) -> None:
+        """Take an AS (and implicitly all of its links) offline."""
+        self.offline_ases.add(int(as_id))
+
+    def set_as_online(self, as_id: int) -> None:
+        """Bring an AS back online (its non-failed links become usable)."""
+        self.offline_ases.discard(int(as_id))
+
+    def is_as_up(self, as_id: int) -> bool:
+        """Return whether ``as_id`` is online."""
+        return int(as_id) not in self.offline_ases
+
+    def impaired(self) -> bool:
+        """Return whether anything is currently failed or offline.
+
+        The transport's delivery fast path uses this to skip the per-hop
+        path check entirely while the network is healthy, keeping static
+        simulations at their original per-delivery cost.
+        """
+        return bool(self.failed_links or self.offline_ases)
+
+    def is_link_up(self, link_id: LinkID) -> bool:
+        """Return whether the link itself (ignoring its ASes) is up."""
+        return normalize_link_id(*link_id) not in self.failed_links
+
+    def link_available(self, link_id: LinkID) -> bool:
+        """Return whether traffic can traverse ``link_id`` right now."""
+        normalised = normalize_link_id(*link_id)
+        if normalised in self.failed_links:
+            return False
+        (as_a, _if_a), (as_b, _if_b) = normalised
+        return self.is_as_up(as_a) and self.is_as_up(as_b)
+
+    def path_available(self, path_links: Iterable[LinkID]) -> bool:
+        """Return whether every link of a path is currently available."""
+        return all(self.link_available(link) for link in path_links)
+
+
+@dataclass
 class LinkFailureInjector:
-    """Tracks a set of failed inter-domain links."""
+    """Topology-validated front end for failing inter-domain links.
+
+    The actual failed-link bookkeeping lives in a :class:`LinkState` —
+    pass the state of a running :class:`BeaconingSimulation` to drive its
+    live availability, or keep the default for standalone post-hoc
+    survivability analysis (the Figure-8b usage).
+    """
 
     topology: Topology
-    _failed: Set[LinkID] = field(default_factory=set)
+    state: LinkState = field(default_factory=LinkState)
 
     def fail_link(self, link_id: LinkID) -> None:
         """Mark one link as failed.
@@ -36,34 +104,40 @@ class LinkFailureInjector:
         normalised = normalize_link_id(*link_id)
         if normalised not in self.topology.links:
             raise SimulationError(f"cannot fail unknown link {link_id}")
-        self._failed.add(normalised)
+        self.state.fail_link(normalised)
+
+    def restore_link(self, link_id: LinkID) -> None:
+        """Clear the failure of one link (no-op if it was not failed)."""
+        self.state.restore_link(link_id)
 
     def fail_random_links(self, count: int, rng: Optional[random.Random] = None) -> List[LinkID]:
         """Fail ``count`` uniformly chosen distinct links; return them."""
         if count < 0:
             raise SimulationError(f"count must be non-negative, got {count}")
         rng = rng or random.Random(0)
-        candidates = [link for link in sorted(self.topology.links) if link not in self._failed]
+        candidates = [
+            link for link in sorted(self.topology.links) if link not in self.state.failed_links
+        ]
         chosen = rng.sample(candidates, k=min(count, len(candidates)))
         for link in chosen:
-            self._failed.add(link)
+            self.state.fail_link(link)
         return chosen
 
     def restore_all(self) -> None:
         """Clear every failure."""
-        self._failed.clear()
+        self.state.failed_links.clear()
 
     @property
     def failed_links(self) -> Set[LinkID]:
         """Return the currently failed links."""
-        return set(self._failed)
+        return set(self.state.failed_links)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def path_survives(self, path_links: Iterable[LinkID]) -> bool:
-        """Return whether a path avoiding every failed link."""
-        return not any(normalize_link_id(*link) in self._failed for link in path_links)
+        """Return whether a path avoids every failed link."""
+        return all(self.state.is_link_up(link) for link in path_links)
 
     def surviving_paths(self, segments: Sequence[Beacon]) -> List[Beacon]:
         """Return the segments whose links all survived."""

@@ -16,9 +16,10 @@ from typing import Dict, Optional
 
 from repro.core.beacon import Beacon
 from repro.core.transport import ControlPlaneTransport
-from repro.exceptions import SimulationError, UnknownASError
+from repro.exceptions import AlgorithmError, SimulationError, UnknownASError
 from repro.simulation.collector import MetricsCollector
 from repro.simulation.engine import EventScheduler
+from repro.simulation.failures import LinkState
 from repro.topology.graph import Topology
 
 
@@ -35,6 +36,10 @@ class SimulatedTransport:
         deliver_immediately: When set, messages are delivered synchronously
             instead of being scheduled; used by tests that do not care about
             timing.
+        link_state: Live link/AS availability (dynamic scenarios).  Checked
+            both when a PCB is sent and when it would be delivered, so a
+            link failing mid-flight loses the PCBs currently on it.  When
+            ``None`` every link is always available (static scenarios).
     """
 
     topology: Topology
@@ -42,6 +47,7 @@ class SimulatedTransport:
     collector: MetricsCollector = field(default_factory=MetricsCollector)
     processing_delay_ms: float = 1.0
     deliver_immediately: bool = False
+    link_state: Optional[LinkState] = None
     services: Dict[int, object] = field(default_factory=dict)
 
     def register(self, service: object) -> None:
@@ -59,15 +65,47 @@ class SimulatedTransport:
     # ControlPlaneTransport implementation
     # ------------------------------------------------------------------
     def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
-        """Deliver ``beacon`` to the AS at the far end of the egress link."""
+        """Deliver ``beacon`` to the AS at the far end of the egress link.
+
+        With a :class:`LinkState` attached, the PCB is lost (counted as a
+        drop) if the link is unavailable now or at delivery time.
+        """
         link = self.topology.link_of_interface((sender_as, egress_interface))
         remote_as, remote_interface = link.other_end((sender_as, egress_interface))
         receiver = self.service_of(remote_as)
         self.collector.record_send(sender_as, egress_interface, self.scheduler.now_ms)
 
+        if (
+            self.link_state is not None
+            and self.link_state.impaired()
+            and not self.link_state.link_available(link.key)
+        ):
+            self.collector.record_drop(self.scheduler.now_ms)
+            return
+
         delay_ms = link.latency_ms + self.processing_delay_ms
 
-        def deliver(now_ms: float, _receiver=receiver, _beacon=beacon, _interface=remote_interface):
+        def deliver(
+            now_ms: float,
+            _receiver=receiver,
+            _beacon=beacon,
+            _interface=remote_interface,
+            _link_key=link.key,
+        ):
+            # Both the delivery link and the beacon's own path must still be
+            # up: a beacon crossing a link that failed while it was in
+            # flight must not re-poison the databases the invalidation
+            # flood just purged.
+            if (
+                self.link_state is not None
+                and self.link_state.impaired()
+                and (
+                    not self.link_state.link_available(_link_key)
+                    or not self.link_state.path_available(_beacon.links())
+                )
+            ):
+                self.collector.record_drop(now_ms)
+                return
             _receiver.receive_beacon(_beacon, on_interface=_interface, now_ms=now_ms)
 
         if self.deliver_immediately:
@@ -82,6 +120,15 @@ class SimulatedTransport:
         delay_ms = beacon.total_latency_ms() + self.processing_delay_ms
 
         def deliver(now_ms: float, _origin=origin, _beacon=beacon):
+            # The return travels over the beacon's own path; it is lost if
+            # any of those links is unavailable when it would arrive.
+            if (
+                self.link_state is not None
+                and self.link_state.impaired()
+                and not self.link_state.path_available(_beacon.links())
+            ):
+                self.collector.record_drop(now_ms)
+                return
             _origin.receive_returned_beacon(_beacon, now_ms=now_ms)
 
         if self.deliver_immediately:
@@ -97,6 +144,13 @@ class SimulatedTransport:
         behaviour.
         """
         origin = self.service_of(origin_as)
+        if self.link_state is not None and not self.link_state.is_as_up(origin_as):
+            # AlgorithmError (not SimulationError) so the RAC round records
+            # a failed bucket and the simulation continues — an unreachable
+            # origin must not abort the whole run.
+            raise AlgorithmError(
+                f"AS {origin_as} is offline and cannot serve algorithm {algorithm_id!r}"
+            )
         self.collector.record_algorithm_fetch()
         serve = getattr(origin, "serve_algorithm", None)
         if serve is None:

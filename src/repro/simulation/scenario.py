@@ -22,6 +22,7 @@ from repro.core.interface_groups import (
     SingleGroupPolicy,
 )
 from repro.exceptions import ConfigurationError
+from repro.simulation.events import ScenarioTimeline, TimelineCursor
 from repro.units import minutes
 
 #: A factory producing a fresh algorithm instance per AS (RACs must not
@@ -71,6 +72,9 @@ class ScenarioConfig:
         legacy_ases: ASes that run the legacy SCION control service instead
             of IREC (used by the backward-compatibility experiment).
         processing_delay_ms: Per-hop control-plane processing delay.
+        timeline: Timed dynamic events (failures, churn, policy/RAC swaps,
+            period changes) applied by the beaconing driver while the
+            simulation runs; see :mod:`repro.simulation.events`.
     """
 
     algorithms: Tuple[AlgorithmSpec, ...]
@@ -80,6 +84,7 @@ class ScenarioConfig:
     verify_signatures: bool = True
     legacy_ases: Tuple[int, ...] = ()
     processing_delay_ms: float = 1.0
+    timeline: ScenarioTimeline = field(default_factory=ScenarioTimeline)
 
     def __post_init__(self) -> None:
         if not self.algorithms and not self.legacy_ases:
@@ -90,6 +95,15 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"propagation interval must be positive, got {self.propagation_interval_ms}"
             )
+
+    def at(self, time_ms: float) -> TimelineCursor:
+        """Add dynamic events at ``time_ms`` via the timeline builder DSL.
+
+        Example::
+
+            scenario.at(minutes(15)).fail_link(link).at(minutes(35)).recover_link(link)
+        """
+        return self.timeline.at(time_ms)
 
 
 # ----------------------------------------------------------------------

@@ -247,6 +247,27 @@ class Topology:
         """Return all AS identifiers in sorted order."""
         return tuple(sorted(self.ases))
 
+    def link_ids(self) -> Tuple[LinkID, ...]:
+        """Return all link identifiers in sorted (deterministic) order.
+
+        The dynamic-scenario generators draw failure/churn victims from
+        this ordering, so seeded runs are reproducible regardless of the
+        links' insertion order.
+        """
+        return tuple(sorted(self.links))
+
+    def links_between(self, as_a: int, as_b: int) -> Tuple[Link, ...]:
+        """Return every (parallel) link connecting two ASes, sorted by id."""
+        for as_id in (as_a, as_b):
+            if as_id not in self.ases:
+                raise UnknownASError(as_id)
+        result = [
+            link
+            for link in self.links.values()
+            if {link.interface_a[0], link.interface_b[0]} == {as_a, as_b}
+        ]
+        return tuple(sorted(result, key=lambda link: link.key))
+
     def is_connected(self) -> bool:
         """Return whether the AS-level graph is connected."""
         if not self.ases:

@@ -163,3 +163,25 @@ class TestPathService:
         )
         assert service.remove_expired(now_ms=1_000.0) == 1
         assert len(service) == 0
+
+    def test_removal_releases_quota_for_reregistration(self, key_store):
+        service = PathService(max_paths_per_key=1)
+        assert service.register(self._registered(key_store, via=2))
+        assert not service.register(self._registered(key_store, via=3))
+        # Withdrawing the registered path frees its quota slot again.
+        assert service.remove_matching(lambda path: True) == 1
+        assert service.register(self._registered(key_store, via=3))
+
+    def test_removal_releases_only_consumed_quota(self, key_store):
+        service = PathService(max_paths_per_key=1)
+        # Path X fills the "a" quota; path Y is stored via its "b" tag only
+        # (the "a" key is already full, so Y consumes no "a" slot).
+        assert service.register(self._registered(key_store, via=2, tags=("a",)))
+        assert service.register(self._registered(key_store, via=3, tags=("a", "b")))
+        # Removing Y must release only "b": the "a" quota is still held by
+        # X, so another "a"-tagged path stays rejected.
+        assert service.remove_matching(lambda path: "b" in path.criteria_tags) == 1
+        assert not service.register(self._registered(key_store, via=4, tags=("a",)))
+        # Removing X finally frees "a".
+        assert service.remove_matching(lambda path: True) == 1
+        assert service.register(self._registered(key_store, via=4, tags=("a",)))

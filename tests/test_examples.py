@@ -34,6 +34,7 @@ class TestExampleScripts:
             "on_demand_routing.py",
             "disjoint_paths.py",
             "failover_and_policies.py",
+            "dynamic_failover.py",
         }
         present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present
@@ -70,6 +71,16 @@ class TestExampleScripts:
         output = capsys.readouterr().out
         assert "Pull-based, on-demand paths" in output
         assert "live-video-60ms" in output
+
+    def test_dynamic_failover_runs(self, capsys):
+        module = load_example("dynamic_failover.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Scripted timeline" in output
+        assert "fail_link" in output and "as_leave" in output
+        assert "time to recovery" in output
+        # The scripted run ends fully recovered, deterministically.
+        assert "Outage at the end of the run: 0 ms" in output
 
     @pytest.mark.slow
     def test_disjoint_paths_runs(self, capsys):

@@ -1,0 +1,76 @@
+"""Golden-trace regression test for the dynamic-scenario engine.
+
+Runs a small seeded dynamic scenario (scripted failure/recovery/churn plus
+generator-produced random failures) and digests the complete
+event/convergence trace together with the headline collector counters.
+The digest is compared against a checked-in constant, proving that the
+discrete-event scheduler, the timeline application order and the
+convergence bookkeeping are bit-for-bit deterministic — across runs in one
+process and across processes/machines.
+
+If a PR changes the engine's observable behaviour on purpose, update
+``GOLDEN_DIGEST`` with the value printed by the failing assertion and
+justify the change in the PR description.
+"""
+
+import hashlib
+import random
+
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.events import random_churn, random_link_failures
+from repro.simulation.scenario import don_scenario
+from repro.units import minutes
+
+from tests.conftest import line_topology
+
+GOLDEN_DIGEST = "fa9188cddf69f50d60f907bacf01b20ba0e6777c379a49f7448eb9f31e9af8e8"
+
+
+def run_scenario():
+    """Run the pinned golden scenario; return its trace text."""
+    topology = line_topology(5)
+    scenario = don_scenario(periods=11, verify_signatures=False)
+
+    core_link = topology.link_ids()[1]  # the 2-3 link
+    scenario.at(minutes(25)).fail_link(core_link)
+    scenario.at(minutes(45)).recover_link(core_link)
+    scenario.at(minutes(55)).as_leave(4).at(minutes(65)).as_join(4)
+    scenario.timeline.extend(
+        random_link_failures(
+            topology,
+            count=1,
+            rng=random.Random(1234),
+            start_ms=minutes(15),
+            spacing_ms=minutes(10),
+            recovery_after_ms=minutes(10),
+        )
+    )
+
+    simulation = BeaconingSimulation(topology, scenario)
+    simulation.watch_pair(3, 1)
+    simulation.watch_pair(5, 1)
+    result = simulation.run()
+
+    summary = (
+        f"sent={result.collector.total_sent}"
+        f" dropped={result.collector.total_dropped}"
+        f" revocations={result.collector.total_revocations}"
+        f" periods={result.periods_run}"
+        f" final={result.final_time_ms:.3f}"
+        f" records={len(result.convergence.records)}"
+    )
+    record_lines = [record.trace_label() for record in result.convergence.records]
+    return "\n".join([result.convergence.trace_text(), *record_lines, summary])
+
+
+class TestGoldenTrace:
+    def test_trace_is_reproducible_within_process(self):
+        assert run_scenario() == run_scenario()
+
+    def test_trace_matches_checked_in_digest(self):
+        trace = run_scenario()
+        digest = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+        assert digest == GOLDEN_DIGEST, (
+            "golden trace changed — if intentional, update GOLDEN_DIGEST to "
+            f"{digest!r}; trace was:\n{trace}"
+        )

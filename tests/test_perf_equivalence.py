@@ -149,6 +149,8 @@ class TestDigestEquivalence:
 # (b) pareto frontier
 # ----------------------------------------------------------------------
 METRIC_POOLS = (
+    (LATENCY,),  # single-metric degenerate case: frontier = all minima
+    (BANDWIDTH,),  # ...including a maximize-objective single metric
     (LATENCY, BANDWIDTH),
     (LATENCY, HOP_COUNT, BANDWIDTH),
     (LATENCY, HOP_COUNT, BANDWIDTH, RELIABILITY),
@@ -182,12 +184,65 @@ class TestParetoEquivalence:
         assert [label for label, _v in fast] == [label for label, _v in naive]
         assert [v.values for _l, v in fast] == [v.values for _l, v in naive]
 
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(min_value=0, max_value=2), min_size=3, max_size=3),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_duplicate_heavy_three_metric_sweep_matches_reference(self, rows):
+        # Values drawn from {0, 1, 2}³ force many exact duplicates, the
+        # regime where the k ≥ 3 skyline scan is easiest to get wrong
+        # (duplicates must all be kept: they do not dominate each other).
+        metrics = (LATENCY, HOP_COUNT, BANDWIDTH)
+        labelled = [
+            (index, PathVector(metrics=metrics, values=tuple(float(v) for v in row)))
+            for index, row in enumerate(rows)
+        ]
+        fast = pareto_frontier(labelled)
+        naive = pareto_frontier_naive(labelled)
+        assert [label for label, _v in fast] == [label for label, _v in naive]
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=4), min_size=0, max_size=40),
+        maximize=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_single_metric_degenerate_matches_reference(self, values, maximize):
+        metric = BANDWIDTH if maximize else LATENCY
+        labelled = [
+            (index, PathVector(metrics=(metric,), values=(float(v),)))
+            for index, v in enumerate(values)
+        ]
+        fast = pareto_frontier(labelled)
+        naive = pareto_frontier_naive(labelled)
+        assert [label for label, _v in fast] == [label for label, _v in naive]
+        if values:
+            best = max(values) if maximize else min(values)
+            # Every optimum (including duplicates) survives, nothing else.
+            assert [v.values[0] for _l, v in fast] == [
+                float(v) for v in values if v == best
+            ]
+
     def test_duplicates_are_all_kept(self):
         vector = PathVector(metrics=(LATENCY, BANDWIDTH), values=(10.0, 100.0))
         other = PathVector(metrics=(LATENCY, BANDWIDTH), values=(10.0, 100.0))
         dominated = PathVector(metrics=(LATENCY, BANDWIDTH), values=(20.0, 50.0))
         frontier = pareto_frontier([("a", vector), ("b", other), ("c", dominated)])
         assert [label for label, _v in frontier] == ["a", "b"]
+
+    def test_duplicates_are_all_kept_with_three_metrics(self):
+        metrics = (LATENCY, HOP_COUNT, BANDWIDTH)
+        twin_a = PathVector(metrics=metrics, values=(10.0, 3.0, 100.0))
+        twin_b = PathVector(metrics=metrics, values=(10.0, 3.0, 100.0))
+        dominated = PathVector(metrics=metrics, values=(20.0, 4.0, 50.0))
+        incomparable = PathVector(metrics=metrics, values=(5.0, 9.0, 100.0))
+        frontier = pareto_frontier(
+            [("a", twin_a), ("b", twin_b), ("c", dominated), ("d", incomparable)]
+        )
+        assert [label for label, _v in frontier] == ["a", "b", "d"]
 
     def test_infinite_values_are_handled(self):
         # Bottleneck identity is +inf; the sweep must not choke on it.
