@@ -25,7 +25,18 @@ Stages
 * ``dynamic_convergence``   — a beaconing simulation under a seeded schedule
                               of link failures/recoveries with convergence
                               tracking (added in PR 2; absent from older
-                              baselines, which the comparison tolerates).
+                              baselines, which the comparison tolerates),
+* ``traffic``               — the flow-level traffic engine: a gravity+
+                              hotspot workload of aggregated end-host flows
+                              over the registered paths through the
+                              capacity-aware link model, reporting
+                              flow-rounds/s and — in a scenario-coupled
+                              second run — goodput recovery after a stub AS
+                              is cut off (added in PR 3).
+
+``--fail-on-regression PCT`` (used by CI together with ``--baseline``)
+exits non-zero when any stage's throughput drops by more than PCT percent
+or its wall time grows by more than PCT percent versus the baseline.
 
 Every stage resets the library's crypto perf counters first, so the
 reported ``digest``/``verify`` numbers are the operations that stage
@@ -266,13 +277,102 @@ def stage_dynamic_convergence(scale: str, periods: int) -> dict:
     }
 
 
+def stage_traffic(scale: str) -> dict:
+    """Flow-level traffic engine: flow-rounds/s plus goodput recovery."""
+    from repro.simulation.beaconing import BeaconingSimulation
+    from repro.traffic import CapacityLinkModel, EcmpPolicy, TrafficEngine, hotspot_matrix
+    from repro.units import minutes
+
+    topology = generate_topology(scale_topology_config(scale))
+    as_ids = topology.as_ids()
+    warmup = BeaconingSimulation(
+        topology, don_scenario(periods=2, verify_signatures=False)
+    )
+    warmup.run()
+
+    total_flows = {"paper": 1_000_000, "medium": 500_000}.get(scale, 100_000)
+    matrix = hotspot_matrix(
+        topology,
+        total_demand_mbps=1_000_000.0,
+        total_flows=total_flows,
+        hotspot_as=as_ids[0],
+        hotspot_fraction=0.3,
+        max_pairs=min(2_000, topology.num_ases * (topology.num_ases - 1)),
+        seed=3,
+    )
+    engine = TrafficEngine(
+        topology=topology,
+        path_services={a: s.path_service for a, s in warmup.services.items()},
+        matrix=matrix,
+        link_state=warmup.link_state,
+        policy=EcmpPolicy(max_paths=2),
+        link_model=CapacityLinkModel(topology, capacity_scale=0.5),
+    )
+
+    def run():
+        return engine.run_rounds(30)
+
+    collector, wall_s, counters = _staged(run)
+    last = collector.samples[-1]
+    flow_rounds = collector.total_flow_rounds
+
+    # Scenario-coupled failover: cut off a stub, measure goodput recovery.
+    period_ms = minutes(10)
+    fail_ms = 2.5 * period_ms
+    scenario = don_scenario(periods=6, verify_signatures=False)
+    victim_as = as_ids[-1]
+    for link in topology.links_of(victim_as):
+        scenario.at(fail_ms).fail_link(link.key)
+        scenario.at(fail_ms + 1.5 * period_ms).recover_link(link.key)
+    failover_sim = BeaconingSimulation(topology, scenario)
+    # Modest demand: the failover measurement wants the dip to come from
+    # the cutoff, not from background congestion.
+    failover_matrix = hotspot_matrix(
+        topology,
+        total_demand_mbps=50_000.0,
+        total_flows=min(total_flows, 100_000),
+        hotspot_as=victim_as,
+        hotspot_fraction=0.4,
+        max_pairs=min(500, topology.num_ases * (topology.num_ases - 1)),
+        seed=3,
+    )
+    failover_engine = TrafficEngine.for_simulation(
+        failover_sim, failover_matrix, policy=EcmpPolicy(max_paths=2),
+        round_interval_ms=minutes(1),
+    )
+    failover_engine.schedule_rounds(start_ms=period_ms + minutes(1), count=48)
+    failover_sim.run()
+    failover = failover_engine.collector
+    mean_ttr = failover.mean_time_to_reroute_ms()
+    recovery = failover.goodput_recovery_ms(fail_ms, tolerance=0.05)
+
+    return {
+        "wall_s": wall_s,
+        "flow_rounds": flow_rounds,
+        "flow_rounds_per_s": flow_rounds / wall_s if wall_s > 0 else 0.0,
+        "flows": matrix.total_flows,
+        "flow_groups": len(matrix),
+        "offered_mbps": last.offered_mbps,
+        "carried_mbps": last.carried_mbps,
+        "max_link_utilization": last.max_link_utilization,
+        "failover": {
+            "groups_broken": len(failover.reroutes),
+            "mean_time_to_reroute_ms": mean_ttr,
+            "goodput_recovery_ms": recovery,
+        },
+        "crypto_ops": counters,
+    }
+
+
 def _stage_throughput(stage: dict) -> float:
-    """Return a stage's measured PCB/s, derived from points if needed."""
+    """Return a stage's measured throughput, derived from points if needed."""
     points = stage.get("points")
     if points and "pcbs_per_second" in points[0]:
         throughputs = [p["pcbs_per_second"] for p in points if p["pcbs_per_second"] > 0]
         if throughputs:
             return sum(throughputs) / len(throughputs)
+    if "flow_rounds_per_s" in stage:
+        return stage["flow_rounds_per_s"]
     return stage.get("beacons_per_s", 0.0)
 
 
@@ -288,12 +388,45 @@ def compare_to_baseline(report: dict, baseline: dict) -> dict:
             entry["wall_speedup"] = base["wall_s"] / stage["wall_s"]
         base_throughput = _stage_throughput(base)
         throughput = _stage_throughput(stage)
-        if base_throughput > 0 and throughput > 0:
+        if base_throughput > 0:
+            # Emit the ratio even when the current throughput is zero — a
+            # total collapse must register as a 0.00x regression, not
+            # silently fall back to the (probably improved) wall time.
             entry["baseline_beacons_per_s"] = base_throughput
             entry["beacons_per_s"] = throughput
             entry["throughput_speedup"] = throughput / base_throughput
         comparison[name] = entry
     return comparison
+
+
+def find_regressions(comparison: dict, tolerance: float) -> list:
+    """Return stages slower than the baseline beyond ``tolerance``.
+
+    A stage regresses when its throughput dropped below ``1 - tolerance``
+    of the baseline, or — for stages without a throughput metric — its
+    wall time grew beyond ``1 + tolerance`` of the baseline.  Throughput
+    is preferred because wall time also covers workload construction and
+    is noisier on shared CI runners.
+    """
+    floor = 1.0 - tolerance
+    ceiling = 1.0 + tolerance
+    regressions = []
+    for name, entry in sorted(comparison.items()):
+        throughput_speedup = entry.get("throughput_speedup")
+        if throughput_speedup is not None:
+            if throughput_speedup < floor:
+                regressions.append(
+                    f"{name}: throughput at {throughput_speedup:.2f}x of baseline "
+                    f"(floor {floor:.2f}x)"
+                )
+            continue
+        wall_speedup = entry.get("wall_speedup")
+        if wall_speedup is not None and wall_speedup > 0 and 1.0 / wall_speedup > ceiling:
+            regressions.append(
+                f"{name}: wall time at {1.0 / wall_speedup:.2f}x of baseline "
+                f"(ceiling {ceiling:.2f}x)"
+            )
+    return regressions
 
 
 def run_all(scale: str, periods: int) -> dict:
@@ -313,6 +446,7 @@ def run_all(scale: str, periods: int) -> dict:
         ("pareto_frontier", stage_pareto_frontier),
         ("beaconing_e2e", lambda: stage_beaconing_e2e(scale, periods)),
         ("dynamic_convergence", lambda: stage_dynamic_convergence(scale, periods)),
+        ("traffic", lambda: stage_traffic(scale)),
     )
     for name, stage in stages:
         print(f"[bench] running {name} ...", flush=True)
@@ -341,7 +475,18 @@ def main(argv=None) -> int:
         default=None,
         help="previous report (e.g. from the seed tree) to compute speedups against",
     )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="with --baseline: exit non-zero when a stage regresses by more "
+        "than PCT percent (throughput drop, or wall-time growth for stages "
+        "without a throughput metric)",
+    )
     args = parser.parse_args(argv)
+    if args.fail_on_regression is not None and args.baseline is None:
+        parser.error("--fail-on-regression requires --baseline")
 
     baseline = None
     if args.baseline:
@@ -372,6 +517,18 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[bench] wrote {args.out}")
+    if args.fail_on_regression is not None:
+        regressions = find_regressions(
+            report.get("speedup_vs_baseline", {}), args.fail_on_regression / 100.0
+        )
+        if regressions:
+            for line in regressions:
+                print(f"[bench] REGRESSION {line}", flush=True)
+            return 1
+        print(
+            f"[bench] no stage regressed beyond {args.fail_on_regression:.0f}%",
+            flush=True,
+        )
     return 0
 
 

@@ -42,6 +42,37 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def format_timeseries(
+    series: Sequence[Tuple[float, float]],
+    value_label: str = "value",
+    time_divisor: float = 1.0,
+    time_label: str = "t",
+    width: int = 40,
+) -> str:
+    """Render a (time, value) series as an aligned table with bar gauges.
+
+    The traffic engine's goodput dip-and-recovery curves are printed with
+    this: one row per sample, a ``#``-bar scaled to the series maximum, so
+    a dip and its recovery are visible in plain terminal output.
+
+    Args:
+        series: ``(time, value)`` samples in time order.
+        value_label: Header of the value column.
+        time_divisor: Divide times by this for display (e.g. 60 000.0 to
+            show minutes when times are in milliseconds).
+        time_label: Header of the time column.
+        width: Character width of the full-scale bar.
+    """
+    if not series:
+        return "(empty series)"
+    peak = max(value for _time, value in series)
+    rows = []
+    for time, value in series:
+        bar = "#" * int(round(width * value / peak)) if peak > 0 else ""
+        rows.append([time / time_divisor, value, bar])
+    return format_table([time_label, value_label, ""], rows)
+
+
 def format_cdf_table(
     cdfs: Dict[str, EmpiricalCDF],
     quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0),

@@ -205,16 +205,24 @@ class RegisteredPath:
             AS to the registering AS.
         criteria_tags: Names of the criteria (RACs) the path was optimized
             for — the usability tagging of paper §V-D.
-        registered_at_ms: Simulated registration time.
+        registered_at_ms: Simulated time of the *first* registration.
+        last_registered_at_ms: Simulated time of the most recent
+            (re-)registration; re-registering a known segment merges tags
+            but still refreshes this timestamp, so convergence measurement
+            can see *when* a path came back rather than only that it is
+            present at the next period-boundary probe.
     """
 
     segment: Beacon
     criteria_tags: Tuple[str, ...]
     registered_at_ms: float
+    last_registered_at_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.segment.is_terminated:
             raise GatewayError("only terminated beacons can be registered as paths")
+        if self.last_registered_at_ms is None:
+            object.__setattr__(self, "last_registered_at_ms", self.registered_at_ms)
 
 
 @dataclass
@@ -243,10 +251,18 @@ class PathService:
         existing = self._by_digest.get(digest)
         if existing is not None:
             merged_tags = tuple(sorted(set(existing.criteria_tags) | set(path.criteria_tags)))
+            # Re-registration keeps the original registration time but
+            # refreshes the last-registered timestamp: recovery detection
+            # uses it to date a path's return sub-period instead of waiting
+            # for the next period-boundary probe.
             self._by_digest[digest] = RegisteredPath(
                 segment=existing.segment,
                 criteria_tags=merged_tags,
                 registered_at_ms=existing.registered_at_ms,
+                last_registered_at_ms=max(
+                    existing.last_registered_at_ms or existing.registered_at_ms,
+                    path.last_registered_at_ms or path.registered_at_ms,
+                ),
             )
             return True
 
@@ -266,6 +282,31 @@ class PathService:
     def paths_to(self, origin_as: int) -> List[RegisteredPath]:
         """Return every registered path whose origin is ``origin_as``."""
         return [p for p in self._by_digest.values() if p.segment.origin_as == origin_as]
+
+    def get(self, digest: str) -> Optional[RegisteredPath]:
+        """Return the registered path with segment ``digest``, if present.
+
+        The traffic engine revalidates its active flow assignments with
+        this: a path withdrawn by the dynamic-scenario engine (or expired)
+        must stop carrying traffic at the next round.
+        """
+        return self._by_digest.get(digest)
+
+    def latest_registration_ms(self, origin_as: int) -> Optional[float]:
+        """Return the most recent (re-)registration time towards ``origin_as``.
+
+        ``None`` when no path to that origin is registered.  A staleness
+        query: merges refresh ``last_registered_at_ms``, so this tells how
+        recently the control plane confirmed *any* path to the origin.
+        (Recovery dating uses first-registration times of usable paths
+        instead — see ``BeaconingSimulation._latest_usable_registration``.)
+        """
+        times = [
+            path.last_registered_at_ms
+            for path in self._by_digest.values()
+            if path.segment.origin_as == origin_as and path.last_registered_at_ms is not None
+        ]
+        return max(times) if times else None
 
     def paths_with_tag(self, tag: str) -> List[RegisteredPath]:
         """Return every registered path optimized for criteria ``tag``."""

@@ -19,7 +19,7 @@ The package provides:
   criteria.
 """
 
-from repro.dataplane.endhost import EndHost, PathSelectionPreference
+from repro.dataplane.endhost import EndHost, PathPolicy, PathSelectionPreference
 from repro.dataplane.multipath import FailoverForwarder, MultipathSelector
 from repro.dataplane.network import DataPlaneNetwork, DeliveryReport
 from repro.dataplane.packet import Packet
@@ -36,6 +36,7 @@ __all__ = [
     "HopField",
     "MultipathSelector",
     "Packet",
+    "PathPolicy",
     "PathSelectionPreference",
     "forwarding_path_from_segment",
 ]

@@ -11,13 +11,20 @@ of the :class:`~repro.core.databases.PathService` and the data-plane types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.criteria import CriteriaSet
 from repro.core.databases import PathService, RegisteredPath
 from repro.dataplane.packet import Packet
 from repro.dataplane.path import ForwardingPath, forwarding_path_from_segment
 from repro.exceptions import DataPlaneError
+
+#: A path-selection policy: maps the candidate registered paths to an
+#: ordered list of ``(path, weight)`` pairs — the paths traffic should use
+#: and the fraction of demand each should carry (weights need not be
+#: normalised).  Concrete policies (latency-greedy, bandwidth-aware, ECMP
+#: splitting, criteria-tag pinning) live in :mod:`repro.traffic.selection`.
+PathPolicy = Callable[[Sequence[RegisteredPath]], List[Tuple[RegisteredPath, float]]]
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,18 @@ class EndHost:
         by_digest = {path.segment.digest(): path for path in candidates}
         ordered = [by_digest[segment.digest()] for segment in ranked if segment.digest() in by_digest]
         return ordered[: max(0, limit)]
+
+    def select_weighted(
+        self, destination_as: int, policy: PathPolicy
+    ) -> List[Tuple[RegisteredPath, float]]:
+        """Apply a :data:`PathPolicy` to the registered paths.
+
+        This is the traffic-engine entry point: unlike
+        :meth:`select_paths` (one criteria-ranked path set), a policy can
+        split demand over several paths (ECMP-style multipath) by returning
+        per-path weights.
+        """
+        return policy(self.available_paths(destination_as))
 
     def build_packet(
         self,

@@ -23,33 +23,54 @@ from repro.dataplane.network import DataPlaneNetwork, DeliveryReport
 from repro.dataplane.packet import Packet
 from repro.dataplane.path import ForwardingPath, forwarding_path_from_segment
 from repro.exceptions import DataPlaneError
-from repro.simulation.failures import LinkFailureInjector
+from repro.simulation.failures import LinkFailureInjector, LinkState
 from repro.topology.entities import LinkID
 
 
 @dataclass
 class MultipathSelector:
-    """Select a maximally disjoint subset of the registered paths."""
+    """Select a maximally disjoint subset of the registered paths.
+
+    Attributes:
+        path_service: The local AS's path service.
+        link_state: Optional live availability; paths crossing a currently
+            failed link (or offline AS) are excluded up front.
+    """
 
     path_service: PathService
+    link_state: Optional[LinkState] = None
 
     def disjoint_paths(
         self,
         destination_as: int,
         max_paths: int = 4,
         required_tags: Sequence[str] = (),
+        now_ms: Optional[float] = None,
     ) -> List[RegisteredPath]:
         """Return up to ``max_paths`` registered paths with minimal link overlap.
 
         Candidates are considered in ascending (hop count, latency) order;
         each accepted path adds its links to a covered set and subsequent
         candidates are scored by how many covered links they reuse.
+        Passing ``now_ms`` additionally drops paths whose segments have
+        expired (a stale path service must not feed dead tunnels to a
+        multipath transport).
         """
         candidates = [
             path
             for path in self.path_service.paths_to(destination_as)
             if not required_tags or any(tag in path.criteria_tags for tag in required_tags)
         ]
+        if now_ms is not None:
+            candidates = [
+                path for path in candidates if not path.segment.is_expired(now_ms)
+            ]
+        if self.link_state is not None and self.link_state.impaired():
+            candidates = [
+                path
+                for path in candidates
+                if self.link_state.path_available(path.segment.links())
+            ]
         candidates.sort(
             key=lambda path: (path.segment.hop_count, path.segment.total_latency_ms())
         )

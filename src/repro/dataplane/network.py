@@ -12,11 +12,12 @@ match what the data plane experiences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dataplane.packet import Packet
 from repro.dataplane.router import BorderRouter
 from repro.exceptions import ForwardingError
+from repro.simulation.failures import LinkState
 from repro.topology.graph import Topology
 from repro.topology.intra_domain import IntraDomainRegistry
 
@@ -40,11 +41,16 @@ class DataPlaneNetwork:
         topology: The global topology (links and latencies).
         intra_domain: Per-AS intra-domain latency models used to charge the
             transit latency between an AS's ingress and egress interfaces.
+        link_state: Optional live link/AS availability shared with the
+            scenario engine; packets crossing a failed link (or an offline
+            AS) are dropped instead of silently delivered.  ``None`` keeps
+            the static always-up behaviour.
     """
 
     topology: Topology
     intra_domain: IntraDomainRegistry = field(default_factory=IntraDomainRegistry)
     routers: Dict[int, BorderRouter] = field(default_factory=dict)
+    link_state: Optional[LinkState] = None
 
     def router_for(self, as_id: int) -> BorderRouter:
         """Return (creating on demand) the border router of ``as_id``."""
@@ -67,9 +73,19 @@ class DataPlaneNetwork:
         """
         arrived_on: Optional[int] = None
         hops_traversed = 0
+        visited: Set[int] = set()
         try:
+            if self.link_state is not None and not self.link_state.is_as_up(
+                packet.current_as
+            ):
+                raise ForwardingError(f"source AS {packet.current_as} is offline")
             while True:
                 router = self.router_for(packet.current_as)
+                if packet.current_as in visited:
+                    raise ForwardingError(
+                        f"forwarding loop: packet revisited AS {packet.current_as}"
+                    )
+                visited.add(packet.current_as)
                 egress = router.forward(packet, arrived_on=arrived_on)
                 hops_traversed += 1
                 if arrived_on is not None and egress is not None:
@@ -86,6 +102,14 @@ class DataPlaneNetwork:
                     )
                 link = self.topology.link_of_interface(egress)
                 remote_as, remote_interface = link.other_end(egress)
+                if (
+                    self.link_state is not None
+                    and self.link_state.impaired()
+                    and not self.link_state.link_available(link.key)
+                ):
+                    raise ForwardingError(
+                        f"link {link.key} between AS {egress[0]} and AS {remote_as} is down"
+                    )
                 next_hop = packet.advance()
                 if next_hop.as_id != remote_as:
                     raise ForwardingError(

@@ -107,6 +107,10 @@ class BeaconingSimulation:
         self.orchestrators: List[PullBasedDisjointnessOrchestrator] = []
         self.round_reports: List[RoundReport] = []
         self.watched_pairs: List[Tuple[int, int]] = []
+        #: Callbacks ``(event, now_ms)`` invoked after a timeline event has
+        #: been applied; the traffic engine subscribes here so failures
+        #: break active flows the instant they fire.
+        self.event_listeners: List = []
         self._periods_run = 0
         self._interval_ms = scenario.propagation_interval_ms
         self._next_period_start_ms = 0.0
@@ -242,6 +246,11 @@ class BeaconingSimulation:
         if pair not in self.watched_pairs:
             self.watched_pairs.append(pair)
 
+    def add_event_listener(self, listener) -> None:
+        """Register a ``(event, now_ms)`` callback fired after each applied
+        timeline event (failures, recoveries, churn, swaps)."""
+        self.event_listeners.append(listener)
+
     def usable_path_count(self, source_as: int, destination_as: int) -> int:
         """Return how many registered paths of the pair are usable right now.
 
@@ -259,6 +268,27 @@ class BeaconingSimulation:
         return {
             pair: self.usable_path_count(*pair) for pair in self.watched_pairs
         }
+
+    def _usable_registration_times(
+        self, source_as: int, destination_as: int
+    ) -> Tuple[float, ...]:
+        """Return when each currently *usable* path of the pair appeared.
+
+        The sub-period recovery timestamps.  First-registration times are
+        used on purpose: a withdrawn path that returns is a fresh entry
+        (its ``registered_at_ms`` post-dates the disruption), while a
+        surviving path that is merely re-registered keeps its original
+        timestamp — so routine periodic merges can never back-date a
+        recovery (``last_registered_at_ms`` is refreshed by exactly those
+        merges and would).
+        """
+        if not (self.link_state.is_as_up(source_as) and self.link_state.is_as_up(destination_as)):
+            return ()
+        return tuple(
+            path.registered_at_ms
+            for path in self.services[source_as].path_service.paths_to(destination_as)
+            if self.link_state.path_available(path.segment.links())
+        )
 
     def _apply_event(self, timed: TimedEvent, now_ms: float) -> None:
         """Apply one timeline event and feed the convergence collector."""
@@ -325,6 +355,8 @@ class BeaconingSimulation:
             pair_paths={pair: (before[pair], after[pair]) for pair in before},
             messages_total=self.collector.control_messages_total(),
         )
+        for listener in self.event_listeners:
+            listener(event, now_ms)
 
     def _cold_restart(self, service: AnyControlService) -> None:
         """Wipe a departing AS's volatile control-plane state.
@@ -421,6 +453,10 @@ class BeaconingSimulation:
                 now_ms=self.scheduler.now_ms,
                 pair_paths=self._watched_counts(),
                 messages_total=self.collector.control_messages_total(),
+                pair_registered_at={
+                    pair: self._usable_registration_times(*pair)
+                    for pair in self.watched_pairs
+                },
             )
 
         self.round_reports.extend(reports)

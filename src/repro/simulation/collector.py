@@ -271,8 +271,23 @@ class ConvergenceCollector:
         now_ms: float,
         pair_paths: Dict[Tuple[int, int], int],
         messages_total: int,
+        pair_registered_at: Optional[Dict[Tuple[int, int], Tuple[float, ...]]] = None,
     ) -> None:
-        """Probe watched pairs at a period boundary and close healed records."""
+        """Probe watched pairs at a period boundary and close healed records.
+
+        Args:
+            now_ms: Probe time (a period boundary).
+            pair_paths: Current usable-path count per watched pair.
+            messages_total: Control-message counter snapshot.
+            pair_registered_at: Optional per-pair first-registration times
+                of the currently usable paths.  A closing record is dated
+                at the newest registration instead of the probe —
+                sub-period recovery detection — but only when enough
+                registrations post-date the event to account for every
+                path the disruption took (otherwise part of the recovery
+                happened silently, e.g. a link recovery re-validating a
+                still-registered path, and only the probe bounds it).
+        """
         for (source_as, destination_as), usable in sorted(pair_paths.items()):
             pair = (source_as, destination_as)
             self.trace.append(
@@ -280,12 +295,21 @@ class ConvergenceCollector:
             )
             record = self._open.get(pair)
             if record is not None and usable >= record.paths_before:
-                record.recovered_at_ms = now_ms
+                recovered_at = now_ms
+                if pair_registered_at is not None:
+                    fresh = [
+                        registered_at
+                        for registered_at in pair_registered_at.get(pair, ())
+                        if record.event_time_ms < registered_at < now_ms
+                    ]
+                    if fresh and len(fresh) >= record.paths_lost:
+                        recovered_at = max(fresh)
+                record.recovered_at_ms = recovered_at
                 record.paths_at_recovery = usable
                 record.messages_at_recovery = messages_total
                 del self._open[pair]
                 self.trace.append(
-                    f"{now_ms:.3f} recover ({source_as},{destination_as}) "
+                    f"{recovered_at:.3f} recover ({source_as},{destination_as}) "
                     f"paths={usable} ttr={record.time_to_recovery_ms:.3f}"
                 )
 

@@ -1,0 +1,57 @@
+"""Flow-level traffic simulation over discovered paths.
+
+The packages below this one answer "which paths does the control plane
+find?"; this package answers the north-star question "what happens when
+millions of end-host flows actually use them?":
+
+* :mod:`repro.traffic.demand` — traffic-matrix generators (gravity,
+  hotspot, uniform, seeded random) with flow aggregation, so matrices can
+  represent millions of flows through a few thousand flow groups,
+* :mod:`repro.traffic.links` — the capacity-aware link model: finite
+  per-link bandwidth and weighted max-min fair allocation per round,
+* :mod:`repro.traffic.selection` — end-host path-selection policies
+  (latency-greedy, bandwidth-aware, ECMP splitting, criteria-tag pinning),
+* :mod:`repro.traffic.engine` — the :class:`TrafficEngine` that advances
+  flows in rounds on the discrete-event scheduler and couples to the
+  dynamic-scenario engine (failures break flows, rounds re-select), and
+* :mod:`repro.traffic.collector` — goodput curves, loss accounting and
+  time-to-reroute records, digest-pinnable like the golden trace.
+"""
+
+from repro.traffic.collector import RerouteRecord, RoundSample, TrafficCollector
+from repro.traffic.demand import (
+    FlowGroup,
+    TrafficMatrix,
+    gravity_matrix,
+    hotspot_matrix,
+    random_matrix,
+    uniform_matrix,
+)
+from repro.traffic.engine import TrafficEngine
+from repro.traffic.links import AllocationResult, CapacityLinkModel, PathLoad
+from repro.traffic.selection import (
+    BandwidthAwarePolicy,
+    EcmpPolicy,
+    LatencyGreedyPolicy,
+    TagPinnedPolicy,
+)
+
+__all__ = [
+    "AllocationResult",
+    "BandwidthAwarePolicy",
+    "CapacityLinkModel",
+    "EcmpPolicy",
+    "FlowGroup",
+    "LatencyGreedyPolicy",
+    "PathLoad",
+    "RerouteRecord",
+    "RoundSample",
+    "TagPinnedPolicy",
+    "TrafficCollector",
+    "TrafficEngine",
+    "TrafficMatrix",
+    "gravity_matrix",
+    "hotspot_matrix",
+    "random_matrix",
+    "uniform_matrix",
+]

@@ -1,0 +1,125 @@
+"""End-host path-selection policies for the traffic engine.
+
+The control plane registers *sets* of paths per destination, tagged by the
+criteria that selected them (paper §V-D); what traffic actually flows over
+depends on how end hosts choose.  This module provides the concrete
+:data:`~repro.dataplane.endhost.PathPolicy` implementations the traffic
+engine plugs into :meth:`EndHost.select_weighted`:
+
+* :class:`LatencyGreedyPolicy` — all demand on the lowest-latency path,
+* :class:`BandwidthAwarePolicy` — all demand on the path with the largest
+  bottleneck bandwidth (ties broken by latency),
+* :class:`EcmpPolicy` — split demand over the ``k`` best paths, equally or
+  proportional to bottleneck bandwidth (multipath transports),
+* :class:`TagPinnedPolicy` — restrict candidates to paths registered under
+  a criteria tag (an application trusting only one RAC's optimization),
+  then delegate to an inner policy.
+
+Every policy is deterministic: candidates are pre-sorted by a stable
+metric/digest key, so two runs over the same path service pick the same
+paths in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.databases import RegisteredPath
+from repro.dataplane.endhost import PathPolicy
+from repro.exceptions import ConfigurationError
+
+#: One policy decision: the chosen path and its share of the demand.
+WeightedPath = Tuple[RegisteredPath, float]
+
+
+def _by_latency(path: RegisteredPath) -> Tuple[float, int, str]:
+    segment = path.segment
+    return (segment.total_latency_ms(), segment.hop_count, segment.digest())
+
+
+def _by_bandwidth(path: RegisteredPath) -> Tuple[float, float, str]:
+    segment = path.segment
+    return (-segment.bottleneck_bandwidth_mbps(), segment.total_latency_ms(), segment.digest())
+
+
+@dataclass(frozen=True)
+class LatencyGreedyPolicy:
+    """Send everything over the single lowest-latency path."""
+
+    def __call__(self, candidates: Sequence[RegisteredPath]) -> List[WeightedPath]:
+        if not candidates:
+            return []
+        best = min(candidates, key=_by_latency)
+        return [(best, 1.0)]
+
+
+@dataclass(frozen=True)
+class BandwidthAwarePolicy:
+    """Send everything over the path with the widest bottleneck."""
+
+    def __call__(self, candidates: Sequence[RegisteredPath]) -> List[WeightedPath]:
+        if not candidates:
+            return []
+        best = min(candidates, key=_by_bandwidth)
+        return [(best, 1.0)]
+
+
+@dataclass(frozen=True)
+class EcmpPolicy:
+    """Split demand over the ``max_paths`` best paths (multipath).
+
+    Attributes:
+        max_paths: Upper bound on simultaneously used paths.
+        prefer: ``"latency"`` ranks candidates latency-first, ``"bandwidth"``
+            bottleneck-first.
+        weight_by_bandwidth: When set, shares are proportional to each
+            path's bottleneck bandwidth instead of equal.
+    """
+
+    max_paths: int = 2
+    prefer: str = "latency"
+    weight_by_bandwidth: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_paths < 1:
+            raise ConfigurationError(f"max_paths must be positive, got {self.max_paths}")
+        if self.prefer not in ("latency", "bandwidth"):
+            raise ConfigurationError(f"unknown ECMP preference {self.prefer!r}")
+
+    def __call__(self, candidates: Sequence[RegisteredPath]) -> List[WeightedPath]:
+        if not candidates:
+            return []
+        key = _by_latency if self.prefer == "latency" else _by_bandwidth
+        chosen = sorted(candidates, key=key)[: self.max_paths]
+        if self.weight_by_bandwidth:
+            widths = [path.segment.bottleneck_bandwidth_mbps() for path in chosen]
+            total = sum(widths)
+            if total > 0.0:
+                return [
+                    (path, width / total) for path, width in zip(chosen, widths)
+                ]
+        share = 1.0 / len(chosen)
+        return [(path, share) for path in chosen]
+
+
+@dataclass(frozen=True)
+class TagPinnedPolicy:
+    """Only use paths registered under one criteria tag.
+
+    Attributes:
+        tag: Required criteria tag (e.g. ``"hd"`` or ``"dob300"``).
+        inner: Policy applied to the tagged candidates.
+        fallback: When no tagged path exists, fall back to the full
+            candidate set instead of sending nothing.
+    """
+
+    tag: str
+    inner: PathPolicy = field(default_factory=LatencyGreedyPolicy)
+    fallback: bool = False
+
+    def __call__(self, candidates: Sequence[RegisteredPath]) -> List[WeightedPath]:
+        tagged = [path for path in candidates if self.tag in path.criteria_tags]
+        if not tagged and self.fallback:
+            tagged = list(candidates)
+        return self.inner(tagged)

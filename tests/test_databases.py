@@ -138,6 +138,21 @@ class TestPathService:
         assert len(service) == 1
         assert set(service.paths_to(1)[0].criteria_tags) == {"1sp", "don"}
 
+    def test_reregistration_refreshes_last_registered_timestamp(self, key_store):
+        service = PathService()
+        segment = make_beacon(key_store, [(1, None, 1), (2, 1, None)])
+        service.register(RegisteredPath(segment=segment, criteria_tags=("1sp",), registered_at_ms=0.0))
+        assert service.latest_registration_ms(1) == pytest.approx(0.0)
+        service.register(RegisteredPath(segment=segment, criteria_tags=("1sp",), registered_at_ms=7.0))
+        merged = service.paths_to(1)[0]
+        # First-registration time is stable; the merge refreshes staleness.
+        assert merged.registered_at_ms == pytest.approx(0.0)
+        assert merged.last_registered_at_ms == pytest.approx(7.0)
+        assert service.latest_registration_ms(1) == pytest.approx(7.0)
+        assert service.latest_registration_ms(99) is None
+        assert service.get(segment.digest()) is merged
+        assert service.get("missing") is None
+
     def test_quota_per_tag_origin_group(self, key_store):
         service = PathService(max_paths_per_key=2)
         accepted = 0

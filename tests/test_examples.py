@@ -35,6 +35,7 @@ class TestExampleScripts:
             "disjoint_paths.py",
             "failover_and_policies.py",
             "dynamic_failover.py",
+            "traffic_failover.py",
         }
         present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         assert expected <= present

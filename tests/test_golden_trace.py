@@ -23,7 +23,11 @@ from repro.units import minutes
 
 from tests.conftest import line_topology
 
-GOLDEN_DIGEST = "fa9188cddf69f50d60f907bacf01b20ba0e6777c379a49f7448eb9f31e9af8e8"
+# Recovery records are dated at the sub-period registration timestamp of
+# the freshly re-registered (previously withdrawn) paths when those account
+# for the whole disruption, not at the next period-boundary probe — the
+# PR 3 sub-period convergence measurement.
+GOLDEN_DIGEST = "1e46e0c3c88ea9e80d2a6dd14ccfbfa5c696738557bafe900cd2e63a3beeed57"
 
 
 def run_scenario():

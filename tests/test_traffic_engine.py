@@ -1,0 +1,452 @@
+"""Tests for the flow-level traffic engine and its building blocks."""
+
+import random
+
+import pytest
+
+from repro.core.databases import PathService, RegisteredPath
+from repro.dataplane.endhost import EndHost
+from repro.exceptions import ConfigurationError
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import don_scenario
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.traffic import (
+    BandwidthAwarePolicy,
+    CapacityLinkModel,
+    EcmpPolicy,
+    FlowGroup,
+    LatencyGreedyPolicy,
+    PathLoad,
+    TagPinnedPolicy,
+    TrafficEngine,
+    TrafficMatrix,
+    gravity_matrix,
+    hotspot_matrix,
+    random_matrix,
+    uniform_matrix,
+)
+from repro.units import minutes
+
+from tests.conftest import figure1_topology, make_beacon
+from tests.test_examples import load_example
+
+#: Pinned digest of the example scenario's traffic trace (see
+#: ``examples/traffic_failover.py``); update it when engine behaviour
+#: changes intentionally, like the control-plane golden trace.
+EXAMPLE_TRACE_DIGEST = "6e65eb486c8450fc17e65ac405944db0ed96e1173bd9848f9948acc2d9b4f041"
+
+
+# ----------------------------------------------------------------------
+# fixtures: the Figure-1 topology with its three 1 -> 3 paths
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig1():
+    return figure1_topology()
+
+
+@pytest.fixture
+def fig1_paths(key_store):
+    """The three registered 1->3 paths of the Figure-1 topology."""
+    short = make_beacon(
+        key_store,
+        [(3, None, 1), (2, 2, 1), (1, 1, None)],
+        link_latencies=[10.0, 10.0, 0.0],
+        link_bandwidths=[100.0, 100.0, None],
+    )
+    wide = make_beacon(
+        key_store,
+        [(3, None, 2), (6, 2, 1), (5, 2, 1), (4, 2, 1), (1, 2, None)],
+        link_latencies=[10.0, 10.0, 10.0, 10.0, 0.0],
+        link_bandwidths=[10_000.0, 10_000.0, 10_000.0, 10_000.0, None],
+    )
+    middle = make_beacon(
+        key_store,
+        [(3, None, 3), (5, 3, 1), (4, 2, 1), (1, 2, None)],
+        link_latencies=[10.0, 10.0, 10.0, 0.0],
+        link_bandwidths=[1_000.0, 10_000.0, 10_000.0, None],
+    )
+    return short, wide, middle
+
+
+@pytest.fixture
+def fig1_service(fig1_paths):
+    service = PathService()
+    for tag, segment in zip(("1sp", "hd", "don"), fig1_paths):
+        assert service.register(
+            RegisteredPath(segment=segment, criteria_tags=(tag,), registered_at_ms=0.0)
+        )
+    return service
+
+
+# ----------------------------------------------------------------------
+# demand models
+# ----------------------------------------------------------------------
+class TestDemand:
+    def test_flow_group_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowGroup(group_id=0, source_as=1, destination_as=1, demand_mbps=1.0)
+        with pytest.raises(ConfigurationError):
+            FlowGroup(group_id=0, source_as=1, destination_as=2, demand_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowGroup(group_id=0, source_as=1, destination_as=2, demand_mbps=1.0, flow_count=0)
+
+    def test_uniform_conserves_totals(self, fig1):
+        matrix = uniform_matrix(fig1, total_demand_mbps=600.0, total_flows=6_000)
+        assert matrix.total_flows == 6_000
+        assert matrix.total_demand_mbps == pytest.approx(600.0)
+        demands = {group.demand_mbps for group in matrix}
+        assert len(demands) == 1  # uniform means uniform
+
+    def test_gravity_weighs_by_degree(self, fig1):
+        matrix = gravity_matrix(fig1, total_demand_mbps=1_000.0, total_flows=10_000)
+        assert matrix.total_demand_mbps == pytest.approx(1_000.0)
+        assert matrix.total_flows == 10_000
+        by_pair = {(g.source_as, g.destination_as): g.demand_mbps for g in matrix}
+        # AS 5 (degree 3) attracts more than AS 6 (degree 2) from the same source.
+        assert by_pair[(1, 5)] > by_pair[(1, 6)]
+
+    def test_hotspot_redirects_fraction(self, fig1):
+        matrix = hotspot_matrix(
+            fig1, total_demand_mbps=1_000.0, total_flows=5_000,
+            hotspot_as=3, hotspot_fraction=0.5,
+        )
+        assert matrix.total_demand_mbps == pytest.approx(1_000.0)
+        towards_hotspot = sum(
+            g.demand_mbps for g in matrix if g.destination_as == 3
+        )
+        assert towards_hotspot > 500.0  # spike plus the gravity base load
+
+    def test_hotspot_full_fraction(self, fig1):
+        matrix = hotspot_matrix(
+            fig1, total_demand_mbps=100.0, total_flows=500,
+            hotspot_as=3, hotspot_fraction=1.0,
+        )
+        assert matrix.total_demand_mbps == pytest.approx(100.0)
+        assert all(group.destination_as == 3 for group in matrix)
+
+    def test_random_matrix_is_seed_deterministic(self, fig1):
+        one = random_matrix(fig1, pair_count=8, total_flows=800, rng=random.Random(5))
+        two = random_matrix(fig1, pair_count=8, total_flows=800, rng=random.Random(5))
+        assert one == two
+        other = random_matrix(fig1, pair_count=8, total_flows=800, rng=random.Random(6))
+        assert one != other
+
+    def test_aggregation_needs_one_flow_per_pair(self, fig1):
+        with pytest.raises(ConfigurationError):
+            uniform_matrix(fig1, total_demand_mbps=10.0, total_flows=3)
+
+
+# ----------------------------------------------------------------------
+# capacity-aware link model
+# ----------------------------------------------------------------------
+class TestCapacityLinkModel:
+    def test_unsaturated_demands_fully_carried(self, fig1):
+        model = CapacityLinkModel(fig1)
+        link = model.link_index(fig1.link_ids()[0])
+        result = model.allocate(
+            [PathLoad(key="a", link_indices=(link,), demand_mbps=10.0)]
+        )
+        assert result.carried_mbps["a"] == pytest.approx(10.0)
+        assert result.lost_mbps == pytest.approx(0.0)
+
+    def test_equal_shares_on_saturated_link(self, fig1):
+        model = CapacityLinkModel(fig1)
+        # Link (1,1)-(2,1) has 100 Mbit/s.
+        link = model.link_index(((1, 1), (2, 1)))
+        result = model.allocate(
+            [
+                PathLoad(key="a", link_indices=(link,), demand_mbps=100.0),
+                PathLoad(key="b", link_indices=(link,), demand_mbps=100.0),
+            ]
+        )
+        assert result.carried_mbps["a"] == pytest.approx(50.0)
+        assert result.carried_mbps["b"] == pytest.approx(50.0)
+        assert result.link_load_mbps[link] == pytest.approx(100.0)
+
+    def test_weighted_max_min_shares(self, fig1):
+        model = CapacityLinkModel(fig1)
+        link = model.link_index(((1, 1), (2, 1)))
+        result = model.allocate(
+            [
+                PathLoad(key="big", link_indices=(link,), demand_mbps=500.0, weight=3.0),
+                PathLoad(key="small", link_indices=(link,), demand_mbps=500.0, weight=1.0),
+            ]
+        )
+        assert result.carried_mbps["big"] == pytest.approx(75.0)
+        assert result.carried_mbps["small"] == pytest.approx(25.0)
+
+    def test_demand_capped_flow_releases_capacity(self, fig1):
+        model = CapacityLinkModel(fig1)
+        link = model.link_index(((1, 1), (2, 1)))
+        result = model.allocate(
+            [
+                PathLoad(key="small", link_indices=(link,), demand_mbps=10.0),
+                PathLoad(key="greedy", link_indices=(link,), demand_mbps=1_000.0),
+            ]
+        )
+        # Max-min: the small demand is satisfied, the greedy one gets the rest.
+        assert result.carried_mbps["small"] == pytest.approx(10.0)
+        assert result.carried_mbps["greedy"] == pytest.approx(90.0)
+
+    def test_multi_link_path_bottleneck(self, fig1):
+        model = CapacityLinkModel(fig1)
+        narrow = model.link_index(((1, 1), (2, 1)))  # 100 Mbit/s
+        wide = model.link_index(((1, 2), (4, 1)))  # 10 000 Mbit/s
+        result = model.allocate(
+            [PathLoad(key="path", link_indices=(narrow, wide), demand_mbps=5_000.0)]
+        )
+        assert result.carried_mbps["path"] == pytest.approx(100.0)
+
+    def test_capacity_scale(self, fig1):
+        model = CapacityLinkModel(fig1, capacity_scale=0.5)
+        link = model.link_index(((1, 1), (2, 1)))
+        result = model.allocate(
+            [PathLoad(key="a", link_indices=(link,), demand_mbps=100.0)]
+        )
+        assert result.carried_mbps["a"] == pytest.approx(50.0)
+
+    def test_empty_and_zero_loads(self, fig1):
+        model = CapacityLinkModel(fig1)
+        assert model.allocate([]).total_carried_mbps == 0.0
+        link = model.link_index(fig1.link_ids()[0])
+        result = model.allocate(
+            [PathLoad(key="z", link_indices=(link,), demand_mbps=5.0, weight=0.0)]
+        )
+        assert result.carried_mbps["z"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# selection policies
+# ----------------------------------------------------------------------
+class TestSelectionPolicies:
+    def test_latency_greedy(self, fig1_service):
+        host = EndHost(host_id="h", as_id=1, path_service=fig1_service)
+        selected = host.select_weighted(3, LatencyGreedyPolicy())
+        assert len(selected) == 1
+        path, weight = selected[0]
+        assert path.segment.total_latency_ms() == pytest.approx(20.0)
+        assert weight == pytest.approx(1.0)
+
+    def test_bandwidth_aware(self, fig1_service):
+        host = EndHost(host_id="h", as_id=1, path_service=fig1_service)
+        [(path, _weight)] = host.select_weighted(3, BandwidthAwarePolicy())
+        assert path.segment.bottleneck_bandwidth_mbps() == pytest.approx(10_000.0)
+
+    def test_ecmp_splits_evenly(self, fig1_service):
+        host = EndHost(host_id="h", as_id=1, path_service=fig1_service)
+        selected = host.select_weighted(3, EcmpPolicy(max_paths=2))
+        assert len(selected) == 2
+        assert [weight for _path, weight in selected] == [0.5, 0.5]
+        latencies = [path.segment.total_latency_ms() for path, _ in selected]
+        assert latencies == sorted(latencies)  # best paths first
+
+    def test_ecmp_bandwidth_weighted(self, fig1_service):
+        host = EndHost(host_id="h", as_id=1, path_service=fig1_service)
+        selected = host.select_weighted(
+            3, EcmpPolicy(max_paths=3, prefer="bandwidth", weight_by_bandwidth=True)
+        )
+        weights = {
+            path.segment.bottleneck_bandwidth_mbps(): weight for path, weight in selected
+        }
+        assert weights[10_000.0] > weights[1_000.0] > weights[100.0]
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_tag_pinning_and_fallback(self, fig1_service):
+        host = EndHost(host_id="h", as_id=1, path_service=fig1_service)
+        [(path, _)] = host.select_weighted(3, TagPinnedPolicy(tag="hd"))
+        assert "hd" in path.criteria_tags
+        assert host.select_weighted(3, TagPinnedPolicy(tag="nope")) == []
+        [(fallback, _)] = host.select_weighted(
+            3, TagPinnedPolicy(tag="nope", fallback=True)
+        )
+        assert fallback.segment.total_latency_ms() == pytest.approx(20.0)
+
+    def test_policies_on_empty_candidates(self):
+        for policy in (
+            LatencyGreedyPolicy(),
+            BandwidthAwarePolicy(),
+            EcmpPolicy(max_paths=2),
+            TagPinnedPolicy(tag="x", fallback=True),
+        ):
+            assert policy([]) == []
+
+    def test_ecmp_validation(self):
+        with pytest.raises(ConfigurationError):
+            EcmpPolicy(max_paths=0)
+        with pytest.raises(ConfigurationError):
+            EcmpPolicy(prefer="hops")
+
+
+# ----------------------------------------------------------------------
+# the engine, standalone (hand-built path service)
+# ----------------------------------------------------------------------
+class TestTrafficEngineStandalone:
+    def _engine(self, fig1, fig1_service, policy, demand=50.0, **kwargs):
+        matrix = TrafficMatrix(
+            groups=(
+                FlowGroup(
+                    group_id=0, source_as=1, destination_as=3,
+                    demand_mbps=demand, flow_count=100,
+                ),
+            )
+        )
+        return TrafficEngine(
+            topology=fig1,
+            path_services={1: fig1_service},
+            matrix=matrix,
+            policy=policy,
+            **kwargs,
+        )
+
+    def test_round_carries_demand(self, fig1, fig1_service):
+        engine = self._engine(fig1, fig1_service, LatencyGreedyPolicy())
+        collector = engine.run_rounds(3)
+        assert engine.rounds_run == 3
+        assert len(collector.samples) == 3
+        sample = collector.samples[-1]
+        assert sample.carried_mbps == pytest.approx(50.0)
+        assert sample.flow_rounds == 100
+        assert collector.total_flow_rounds == 300
+        assert sample.mean_latency_ms == pytest.approx(20.0)
+
+    def test_capacity_limits_goodput(self, fig1, fig1_service):
+        # The latency-greedy path bottlenecks at 100 Mbit/s.
+        engine = self._engine(fig1, fig1_service, LatencyGreedyPolicy(), demand=400.0)
+        sample = engine.run_rounds(1).samples[0]
+        assert sample.carried_mbps == pytest.approx(100.0)
+        assert sample.lost_mbps == pytest.approx(300.0)
+        assert sample.max_link_utilization == pytest.approx(1.0)
+
+    def test_ecmp_uses_parallel_capacity(self, fig1, fig1_service):
+        engine = self._engine(fig1, fig1_service, EcmpPolicy(max_paths=2), demand=400.0)
+        sample = engine.run_rounds(1).samples[0]
+        # Half the demand fits the wide path, half saturates the narrow one.
+        assert sample.carried_mbps == pytest.approx(300.0)
+
+    def test_unserved_without_paths(self, fig1, fig1_service):
+        matrix = TrafficMatrix(
+            groups=(
+                FlowGroup(group_id=0, source_as=1, destination_as=6, demand_mbps=10.0),
+            )
+        )
+        engine = TrafficEngine(
+            topology=fig1, path_services={1: fig1_service}, matrix=matrix
+        )
+        sample = engine.run_rounds(1).samples[0]
+        assert sample.blackholed_groups == 1
+        assert sample.unserved_mbps == pytest.approx(10.0)
+        assert sample.carried_mbps == pytest.approx(0.0)
+
+    def test_failed_link_triggers_reselection(self, fig1, fig1_service):
+        engine = self._engine(fig1, fig1_service, LatencyGreedyPolicy())
+        engine.run_rounds(1)
+        assert engine.collector.samples[0].mean_latency_ms == pytest.approx(20.0)
+        # Fail the 1-2 link: the next round must move to the 30 ms path.
+        engine.link_state.fail_link(((1, 1), (2, 1)))
+        engine.run_rounds(1)
+        assert engine.collector.samples[1].mean_latency_ms == pytest.approx(30.0)
+        assert engine.collector.samples[1].carried_mbps == pytest.approx(50.0)
+
+    def test_withdrawn_path_triggers_reselection(self, fig1, fig1_service):
+        engine = self._engine(fig1, fig1_service, LatencyGreedyPolicy())
+        engine.run_rounds(1)
+        fig1_service.remove_matching(
+            lambda path: path.segment.total_latency_ms() == pytest.approx(20.0)
+        )
+        engine.run_rounds(1)
+        assert engine.collector.samples[1].mean_latency_ms == pytest.approx(30.0)
+
+    def test_unknown_source_as_rejected(self, fig1, fig1_service):
+        matrix = TrafficMatrix(
+            groups=(
+                FlowGroup(group_id=0, source_as=99, destination_as=3, demand_mbps=1.0),
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            TrafficEngine(topology=fig1, path_services={1: fig1_service}, matrix=matrix)
+
+
+# ----------------------------------------------------------------------
+# the engine coupled to the dynamic-scenario beaconing driver
+# ----------------------------------------------------------------------
+def build_coupled(period_count=4, fail_at_periods=2.5, round_interval_ms=minutes(1)):
+    topology = generate_topology(
+        TopologyConfig(num_ases=18, num_core=3, num_transit=6, seed=13)
+    )
+    victim_as = topology.as_ids()[-1]
+    matrix = hotspot_matrix(
+        topology, total_demand_mbps=20_000.0, total_flows=50_000,
+        hotspot_as=victim_as, hotspot_fraction=0.4, max_pairs=80, seed=3,
+    )
+    scenario = don_scenario(periods=period_count, verify_signatures=False)
+    for link in topology.links_of(victim_as):
+        scenario.at(fail_at_periods * minutes(10)).fail_link(link.key)
+    simulation = BeaconingSimulation(topology, scenario)
+    engine = TrafficEngine.for_simulation(
+        simulation, matrix, policy=EcmpPolicy(max_paths=2),
+        round_interval_ms=round_interval_ms,
+    )
+    engine.schedule_rounds(start_ms=minutes(10) + round_interval_ms, count=25)
+    return simulation, engine
+
+
+@pytest.fixture(scope="module")
+def coupled_run():
+    """One shared coupled beaconing+traffic run (read-only in tests)."""
+    simulation, engine = build_coupled()
+    simulation.run()
+    return simulation, engine
+
+
+class TestTrafficEngineCoupled:
+    def test_failure_breaks_and_reroutes_flows(self, coupled_run):
+        _simulation, engine = coupled_run
+        collector = engine.collector
+        assert engine.rounds_run == 25
+        assert collector.reroutes, "cutting an AS off must break flow groups"
+        for record in collector.reroutes:
+            assert record.broken_at_ms == pytest.approx(2.5 * minutes(10))
+            assert record.cause.startswith("fail_link")
+        # Groups towards the cut-off stub stay black-holed (no recovery
+        # was scheduled); their demand shows up as unserved.
+        assert collector.open_blackholes()
+        assert any(
+            sample.blackholed_groups > 0 for sample in collector.samples
+        )
+
+    def test_coupled_run_is_deterministic(self, coupled_run):
+        _simulation, engine = coupled_run
+        repeat_sim, repeat_engine = build_coupled()
+        repeat_sim.run()
+        assert repeat_engine.collector.trace_digest() == engine.collector.trace_digest()
+        assert repeat_engine.collector.trace_text() == engine.collector.trace_text()
+
+    def test_goodput_dips_after_cutoff(self, coupled_run):
+        _simulation, engine = coupled_run
+        samples = engine.collector.samples
+        fail_ms = 2.5 * minutes(10)
+        before = [s.carried_mbps for s in samples if s.time_ms < fail_ms]
+        after = [s.carried_mbps for s in samples if s.time_ms > fail_ms]
+        assert before and after
+        assert min(after) < before[-1]
+
+
+# ----------------------------------------------------------------------
+# the pinned example scenario (digest regression, like the golden trace)
+# ----------------------------------------------------------------------
+class TestExampleScenarioDigest:
+    def test_traffic_failover_example_digest(self):
+        module = load_example("traffic_failover.py")
+        simulation, engine = module.build()
+        simulation.run()
+        collector = engine.collector
+        digest = collector.trace_digest()
+        assert digest == EXAMPLE_TRACE_DIGEST, (
+            "traffic trace changed — if intentional, update "
+            f"EXAMPLE_TRACE_DIGEST to {digest!r}"
+        )
+        # The scenario's headline numbers the example prints.
+        assert collector.reroutes
+        assert collector.mean_time_to_reroute_ms() is not None
+        failure_ms = min(t.time_ms for t in simulation.scenario.timeline)
+        assert collector.goodput_recovery_ms(failure_ms) is not None
