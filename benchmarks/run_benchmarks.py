@@ -26,6 +26,12 @@ Stages
                               of link failures/recoveries with convergence
                               tracking (added in PR 2; absent from older
                               baselines, which the comparison tolerates),
+* ``revocation``            — the hop-by-hop revocation flood: after one
+                              warm-up beaconing period, a batch of link
+                              failures is injected and the resulting
+                              signed revocation messages (dedup, indexed
+                              withdrawal, re-forwarding) are drained;
+                              reports messages/s (added in PR 4),
 * ``traffic``               — the flow-level traffic engine: a gravity+
                               hotspot workload of aggregated end-host flows
                               over the registered paths through the
@@ -277,6 +283,85 @@ def stage_dynamic_convergence(scale: str, periods: int) -> dict:
     }
 
 
+def run_revocation_flood(topology, failure_count: int = 60, drain_ms: float = 60_000.0) -> dict:
+    """Warm up one beaconing period, then flood revocations for sampled links.
+
+    The canonical revocation workload, shared by the ``revocation`` stage
+    and ``benchmarks/bench_revocation.py`` (which passes a conftest-scaled
+    topology).  Only the flood phase is timed — the measured quantity is
+    the revocation subsystem (origination, hop-by-hop forwarding, dedup,
+    indexed withdrawal), not the warm-up beaconing.
+    """
+    import gc
+    import random
+
+    from repro.simulation.beaconing import BeaconingSimulation
+
+    simulation = BeaconingSimulation(
+        topology, don_scenario(periods=1, verify_signatures=False)
+    )
+    simulation.run()  # warm-up: populate the per-AS databases
+
+    rng = random.Random(5)
+    pool = list(topology.link_ids())
+    # Cap at a quarter of the links: failing most of a small topology
+    # just partitions it and measures drops, not flood throughput.
+    chosen = rng.sample(pool, k=min(failure_count, max(1, len(pool) // 4)))
+    collector = simulation.collector
+    messages_before = collector.total_revocations
+    scheduler = simulation.scheduler
+
+    # A process that already holds large simulations (earlier harness
+    # stages) pays full GC passes over gigabytes of live beacons during
+    # the flood; freeze parks the existing objects in the permanent
+    # generation so the timed section only pays for its own garbage.
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        for link_id in chosen:
+            simulation.link_state.fail_link(link_id)
+            (as_a, _), (as_b, _) = link_id
+            for as_id in sorted({as_a, as_b}):
+                if simulation.link_state.is_as_up(as_id):
+                    simulation.services[as_id].originate_revocation(
+                        now_ms=scheduler.now_ms, failed_link=link_id
+                    )
+        # Drain every in-flight revocation; per-hop delays are
+        # milliseconds, so the default one-minute horizon is comfortable.
+        scheduler.run_until(scheduler.now_ms + drain_ms)
+        wall_s = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+
+    messages = collector.total_revocations - messages_before
+    withdrawals = sum(
+        len(service.revocations.applied_at) for service in simulation.services.values()
+    )
+    duplicates = sum(
+        service.revocations.duplicates for service in simulation.services.values()
+    )
+    return {
+        "wall_s": wall_s,
+        "failures": len(chosen),
+        "messages": messages,
+        "messages_per_s": messages / wall_s if wall_s > 0 else 0.0,
+        "messages_dropped": collector.revocations_dropped,
+        "withdrawals_applied": withdrawals,
+        "duplicates": duplicates,
+        "ases": topology.num_ases,
+    }
+
+
+def stage_revocation(scale: str) -> dict:
+    """Hop-by-hop revocation flood throughput (messages/s)."""
+    topology = generate_topology(scale_topology_config(scale))
+    reset_perf_counters()
+    report = run_revocation_flood(topology)
+    report["crypto_ops"] = perf_counters()
+    return report
+
+
 def stage_traffic(scale: str) -> dict:
     """Flow-level traffic engine: flow-rounds/s plus goodput recovery."""
     from repro.simulation.beaconing import BeaconingSimulation
@@ -373,6 +458,8 @@ def _stage_throughput(stage: dict) -> float:
             return sum(throughputs) / len(throughputs)
     if "flow_rounds_per_s" in stage:
         return stage["flow_rounds_per_s"]
+    if "messages_per_s" in stage:
+        return stage["messages_per_s"]
     return stage.get("beacons_per_s", 0.0)
 
 
@@ -446,6 +533,7 @@ def run_all(scale: str, periods: int) -> dict:
         ("pareto_frontier", stage_pareto_frontier),
         ("beaconing_e2e", lambda: stage_beaconing_e2e(scale, periods)),
         ("dynamic_convergence", lambda: stage_dynamic_convergence(scale, periods)),
+        ("revocation", lambda: stage_revocation(scale)),
         ("traffic", lambda: stage_traffic(scale)),
     )
     for name, stage in stages:

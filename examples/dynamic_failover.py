@@ -78,7 +78,8 @@ def main() -> None:
         f"\nSimulated {result.periods_run} periods over {topology.num_ases} ASes: "
         f"{result.collector.total_sent} PCBs sent, "
         f"{result.collector.total_dropped} lost on failed links, "
-        f"{result.collector.total_revocations} revocation notifications.\n"
+        f"{result.collector.total_revocations} revocation messages "
+        f"({result.collector.revocations_dropped} lost in flight).\n"
     )
 
     records = result.convergence.records

@@ -29,6 +29,7 @@ from repro.core.extensions import (
     InterfaceGroupExtension,
     TargetExtension,
 )
+from repro.core.revocation import RevocationMessage, RevocationState
 from repro.core.staticinfo import StaticInfo
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "Criterion",
     "InterfaceGroupExtension",
     "Objective",
+    "RevocationMessage",
+    "RevocationState",
     "StandardMetrics",
     "StaticInfo",
     "TargetExtension",

@@ -199,16 +199,26 @@ class Beacon:
 
         The link between consecutive entries ``i`` and ``i + 1`` connects
         the egress interface of entry ``i`` with the ingress interface of
-        entry ``i + 1``.
+        entry ``i + 1``.  The tuple is memoized: link-state checks run on
+        every in-flight delivery of a dynamic scenario and revocation
+        purges probe it per stored beacon, so the walk must not repeat.
         """
-        result: List[LinkID] = []
-        for previous, current in zip(self.entries, self.entries[1:]):
-            if previous.egress_interface is None or current.ingress_interface is None:
-                raise BeaconError("interior beacon entries must specify both interfaces")
-            a: InterfaceID = (previous.as_id, previous.egress_interface)
-            b: InterfaceID = (current.as_id, current.ingress_interface)
-            result.append(normalize_link_id(a, b))
-        return tuple(result)
+
+        def compute() -> Tuple[LinkID, ...]:
+            result: List[LinkID] = []
+            for previous, current in zip(self.entries, self.entries[1:]):
+                if previous.egress_interface is None or current.ingress_interface is None:
+                    raise BeaconError("interior beacon entries must specify both interfaces")
+                a: InterfaceID = (previous.as_id, previous.egress_interface)
+                b: InterfaceID = (current.as_id, current.ingress_interface)
+                result.append(normalize_link_id(a, b))
+            return tuple(result)
+
+        return _memo(self, "_links", compute)
+
+    def link_set(self) -> frozenset:
+        """Return :meth:`links` as a memoized frozenset for containment checks."""
+        return _memo(self, "_link_set", lambda: frozenset(self.links()))
 
     def interfaces(self) -> Tuple[InterfaceID, ...]:
         """Return every (AS, interface) pair that appears on the beacon."""

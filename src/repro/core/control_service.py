@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.algorithms.base import RoutingAlgorithm
 from repro.core.algorithm_registry import AlgorithmFetcher, AlgorithmRepository
 from repro.core.beacon import Beacon, BeaconBuilder, DEFAULT_VALIDITY_MS
-from repro.core.databases import IngressDatabase, PathService
+from repro.core.databases import EgressDatabase, IngressDatabase, PathService
 from repro.core.egress import EgressGateway
 from repro.core.extensions import ExtensionSet
 from repro.core.ingress import IngressGateway
@@ -36,6 +36,13 @@ from repro.core.rac import (
     RACExecutionReport,
     RACSelection,
     RoutingAlgorithmContainer,
+)
+from repro.core.revocation import (
+    DEFAULT_DEDUP_WINDOW_MS,
+    RevocationMessage,
+    RevocationState,
+    handle_revocation as _handle_revocation,
+    originate_revocation as _originate_revocation,
 )
 from repro.core.transport import ControlPlaneTransport
 from repro.crypto.keys import KeyStore
@@ -56,12 +63,20 @@ class ControlServiceConfig:
             the path service — 20 in the paper's simulations.
         originate_with_groups: Whether originated beacons carry the
             interface-group extension.
+        expiry_margin_ms: Shared expiry horizon of the AS's three stores
+            (ingress database, egress database, path service): entries
+            expiring within the margin are dropped together, so a beacon
+            never survives in one store after another dropped it.
+        revocation_dedup_window_ms: How long the service remembers
+            processed revocation ``(origin, sequence)`` keys.
     """
 
     verify_signatures: bool = True
     beacon_validity_ms: float = DEFAULT_VALIDITY_MS
     registration_limit: int = 20
     originate_with_groups: bool = True
+    expiry_margin_ms: float = 0.0
+    revocation_dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
 
 
 def purge_link_state(as_id, ingress_database, path_service, link_id: LinkID) -> Tuple[int, int]:
@@ -70,30 +85,17 @@ def purge_link_state(as_id, ingress_database, path_service, link_id: LinkID) -> 
     Shared between the IREC and the legacy control service (both expose the
     same database surface).  For a stored (non-terminated) beacon the link it
     arrived over — last entry's egress interface to the local ingress
-    interface — is part of its path as seen locally, so it is checked in
-    addition to the beacon's interior links.
+    interface — is part of its path as seen locally, so it counts in
+    addition to the beacon's interior links.  Control-service databases
+    resolve the removal through their link indexes in O(matches); databases
+    built without a ``local_as`` fall back to a predicate scan.
 
     Returns:
         ``(ingress_removed, paths_removed)`` counts.
     """
     failed = normalize_link_id(*link_id)
-
-    def stored_crosses(stored) -> bool:
-        beacon = stored.beacon
-        if failed in beacon.links():
-            return True
-        last = beacon.entries[-1]
-        if last.egress_interface is None:
-            return False
-        arrival = normalize_link_id(
-            (last.as_id, last.egress_interface), (as_id, stored.received_on_interface)
-        )
-        return failed == arrival
-
-    ingress_removed = ingress_database.remove_matching(stored_crosses)
-    paths_removed = path_service.remove_matching(
-        lambda path: failed in path.segment.links()
-    )
+    ingress_removed = ingress_database.remove_crossing_link(failed, arrival_as=as_id)
+    paths_removed = path_service.remove_crossing_link(failed)
     return ingress_removed, paths_removed
 
 
@@ -103,12 +105,8 @@ def purge_as_state(ingress_database, path_service, gone_as: int) -> Tuple[int, i
     Returns:
         ``(ingress_removed, paths_removed)`` counts.
     """
-    ingress_removed = ingress_database.remove_matching(
-        lambda stored: stored.beacon.contains_as(gone_as)
-    )
-    paths_removed = path_service.remove_matching(
-        lambda path: path.segment.contains_as(gone_as)
-    )
+    ingress_removed = ingress_database.remove_crossing_as(gone_as)
+    paths_removed = path_service.remove_crossing_as(gone_as)
     return ingress_removed, paths_removed
 
 
@@ -150,19 +148,34 @@ class IrecControlService:
         self.ingress = IngressGateway(
             as_id=view.as_id,
             verifier=verifier,
-            database=IngressDatabase(),
+            database=IngressDatabase(
+                expiry_margin_ms=self.config.expiry_margin_ms,
+                local_as=view.as_id,
+            ),
             verify_signatures=self.config.verify_signatures,
         )
         self.egress = EgressGateway(
             view=view,
             builder=self.builder,
             transport=transport,
-            path_service=PathService(max_paths_per_key=self.config.registration_limit),
+            database=EgressDatabase(expiry_margin_ms=self.config.expiry_margin_ms),
+            path_service=PathService(
+                max_paths_per_key=self.config.registration_limit,
+                expiry_margin_ms=self.config.expiry_margin_ms,
+            ),
             beacon_validity_ms=self.config.beacon_validity_ms,
         )
         self.racs: List[RoutingAlgorithmContainer] = []
         self.repository = AlgorithmRepository(as_id=view.as_id)
         self.pull_results: List[Tuple[Beacon, float]] = []
+        self.revocations = RevocationState(
+            dedup_window_ms=self.config.revocation_dedup_window_ms
+        )
+        #: Optional ``(message, removed_counts, now_ms)`` callback invoked
+        #: after a revocation withdrew local state; the beaconing driver
+        #: fans it out to its revocation listeners (e.g. the traffic
+        #: engine, which breaks flows when the withdrawal *arrives*).
+        self.on_withdrawal = None
         policy = grouping_policy or SingleGroupPolicy()
         self.grouping: InterfaceGroupAssignment = policy.assign(view.as_info)
 
@@ -263,21 +276,54 @@ class IrecControlService:
             ``(ingress_removed, paths_removed)`` counts.
         """
         failed = normalize_link_id(*link_id)
-        self.pull_results = [
-            (beacon, at_ms)
-            for beacon, at_ms in self.pull_results
-            if failed not in beacon.links()
-        ]
+        if self.pull_results:
+            self.pull_results = [
+                (beacon, at_ms)
+                for beacon, at_ms in self.pull_results
+                if failed not in beacon.link_set()
+            ]
         return purge_link_state(self.as_id, self.ingress.database, self.path_service, failed)
 
     def invalidate_as(self, gone_as: int) -> Tuple[int, int]:
         """Withdraw all state whose AS path crosses a departed AS."""
-        self.pull_results = [
-            (beacon, at_ms)
-            for beacon, at_ms in self.pull_results
-            if not beacon.contains_as(gone_as)
-        ]
+        if self.pull_results:
+            self.pull_results = [
+                (beacon, at_ms)
+                for beacon, at_ms in self.pull_results
+                if not beacon.contains_as(gone_as)
+            ]
         return purge_as_state(self.ingress.database, self.path_service, gone_as)
+
+    # ------------------------------------------------------------------
+    # revocation control-plane traffic
+    # ------------------------------------------------------------------
+    def originate_revocation(
+        self,
+        now_ms: float,
+        failed_link: Optional[LinkID] = None,
+        failed_as: Optional[int] = None,
+    ) -> RevocationMessage:
+        """Originate, apply and flood a signed revocation for a local failure.
+
+        Called (by the beaconing driver) on the ASes adjacent to a failed
+        element; the message then propagates hop-by-hop via
+        :meth:`on_revocation` at every other AS.
+        """
+        return _originate_revocation(
+            self, now_ms, failed_link=failed_link, failed_as=failed_as
+        )
+
+    def on_revocation(
+        self, revocation: RevocationMessage, on_interface: int, now_ms: float
+    ) -> bool:
+        """Handle a revocation delivered by a neighbouring AS.
+
+        Deduplicates by ``(origin, sequence)``, verifies the origin
+        signature (when signature checking is enabled), withdraws matching
+        state via :meth:`invalidate_link` / :meth:`invalidate_as` and
+        re-forwards the message to the other neighbours.
+        """
+        return _handle_revocation(self, revocation, on_interface, now_ms)
 
     # ------------------------------------------------------------------
     # transport-facing handlers

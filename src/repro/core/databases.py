@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.beacon import Beacon
 from repro.exceptions import GatewayError
+from repro.topology.entities import LinkID, normalize_link_id
 
 #: A bucket key: (origin AS, interface group id or None, target AS or None,
 #: algorithm id or None).  RACs request candidates one bucket at a time.
@@ -64,12 +65,26 @@ class IngressDatabase:
     expiry removes each digest from its bucket in O(1) instead of scanning
     a list, and buckets emptied by expiry are dropped from the index
     entirely.
+
+    When ``local_as`` is set (control services set it; standalone
+    micro-benchmark databases do not), every insert additionally indexes
+    the beacon under the inter-domain links it traverses — including the
+    link it *arrived* over, which is part of its path as seen locally —
+    and under the ASes on its path.  Revocation-driven invalidation then
+    removes exactly the matching beacons instead of scanning the whole
+    store per revocation, which is what keeps a network-wide revocation
+    flood affordable.
     """
 
     expiry_margin_ms: float = 0.0
+    local_as: Optional[int] = None
     _by_digest: Dict[str, StoredBeacon] = field(default_factory=dict)
     #: Bucket → insertion-ordered set of digests (dict keys; values unused).
     _buckets: Dict[BucketKey, Dict[str, None]] = field(default_factory=dict)
+    #: Link → digests of beacons crossing it (only when ``local_as`` set).
+    _by_link: Dict[LinkID, Dict[str, None]] = field(default_factory=dict)
+    #: AS → digests of beacons whose path contains it (only when ``local_as`` set).
+    _by_as: Dict[int, Dict[str, None]] = field(default_factory=dict)
 
     def insert(self, stored: StoredBeacon) -> bool:
         """Insert a beacon; return ``False`` if it was already present."""
@@ -78,7 +93,24 @@ class IngressDatabase:
             return False
         self._by_digest[digest] = stored
         self._buckets.setdefault(stored.bucket, {})[digest] = None
+        if self.local_as is not None:
+            for link in self._links_of(stored):
+                self._by_link.setdefault(link, {})[digest] = None
+            for as_id in stored.beacon.as_path():
+                self._by_as.setdefault(as_id, {})[digest] = None
         return True
+
+    def _links_of(self, stored: StoredBeacon) -> Tuple[LinkID, ...]:
+        """Return the links of a stored beacon, including its arrival link."""
+        links = stored.beacon.links()
+        last = stored.beacon.entries[-1]
+        if last.egress_interface is None:
+            return links
+        arrival = normalize_link_id(
+            (last.as_id, last.egress_interface),
+            (self.local_as, stored.received_on_interface),
+        )
+        return links + (arrival,)
 
     def bucket_keys(self) -> Tuple[BucketKey, ...]:
         """Return all non-empty bucket keys, deterministically ordered."""
@@ -110,6 +142,42 @@ class IngressDatabase:
             if stored.beacon.is_expired(horizon)
         )
 
+    def remove_crossing_link(self, link_id: LinkID, arrival_as: Optional[int] = None) -> int:
+        """Drop every beacon whose path (including its arrival link) crosses
+        ``link_id``; return the count.
+
+        The revocation fast path: with ``local_as`` set the removal comes
+        out of the link index in O(matches).  Without it (standalone
+        databases) a predicate scan runs, using ``arrival_as`` for the
+        arrival-link check when provided.
+        """
+        failed = normalize_link_id(*link_id)
+        if self.local_as is not None:
+            return self._remove_digests(tuple(self._by_link.get(failed, ())))
+        local_as = arrival_as
+
+        def crosses(stored: StoredBeacon) -> bool:
+            if failed in stored.beacon.link_set():
+                return True
+            if local_as is None:
+                return False
+            last = stored.beacon.entries[-1]
+            if last.egress_interface is None:
+                return False
+            arrival = normalize_link_id(
+                (last.as_id, last.egress_interface),
+                (local_as, stored.received_on_interface),
+            )
+            return failed == arrival
+
+        return self.remove_matching(crosses)
+
+    def remove_crossing_as(self, gone_as: int) -> int:
+        """Drop every beacon whose AS path contains ``gone_as``; return the count."""
+        if self.local_as is not None:
+            return self._remove_digests(tuple(self._by_as.get(gone_as, ())))
+        return self.remove_matching(lambda stored: stored.beacon.contains_as(gone_as))
+
     def remove_matching(self, predicate: Callable[[StoredBeacon], bool]) -> int:
         """Drop every stored beacon satisfying ``predicate``; return the count.
 
@@ -135,6 +203,19 @@ class IngressDatabase:
                 bucket_digests.pop(digest, None)
                 if not bucket_digests:
                     del self._buckets[stored.bucket]
+            if self.local_as is not None:
+                for link in self._links_of(stored):
+                    members = self._by_link.get(link)
+                    if members is not None:
+                        members.pop(digest, None)
+                        if not members:
+                            del self._by_link[link]
+                for as_id in stored.beacon.as_path():
+                    members = self._by_as.get(as_id)
+                    if members is not None:
+                        members.pop(digest, None)
+                        if not members:
+                            del self._by_as[as_id]
         return removed
 
     def __len__(self) -> int:
@@ -160,8 +241,14 @@ class EgressDatabase:
     gateway: given a beacon and the egress interfaces the RACs selected it
     for, it returns only the interfaces the beacon has *not* been sent on
     yet, and records them (paper §V-D).
+
+    ``expiry_margin_ms`` mirrors :class:`IngressDatabase`: expiry drops
+    records that expire within the margin, so the three per-AS stores share
+    one horizon and a beacon never survives here after the ingress database
+    dropped it.
     """
 
+    expiry_margin_ms: float = 0.0
     _records: Dict[str, EgressRecord] = field(default_factory=dict)
 
     def filter_new_interfaces(
@@ -183,8 +270,9 @@ class EgressDatabase:
         return set(record.egress_interfaces) if record is not None else set()
 
     def remove_expired(self, now_ms: float) -> int:
-        """Drop records whose beacons have expired; return the count."""
-        expired = [d for d, record in self._records.items() if record.expires_at_ms <= now_ms]
+        """Drop records that are expired (or about to expire); return the count."""
+        horizon = now_ms + self.expiry_margin_ms
+        expired = [d for d, record in self._records.items() if record.expires_at_ms <= horizon]
         for digest in expired:
             del self._records[digest]
         return len(expired)
@@ -233,9 +321,19 @@ class PathService:
     the paper uses in its simulations (20 paths); re-registration of an
     already-known segment merges the criteria tags instead of consuming
     quota.
+
+    Registered segments are additionally indexed by the inter-domain links
+    they traverse and the ASes on their path, so revocation-driven
+    withdrawal (:meth:`remove_crossing_link` / :meth:`remove_crossing_as`)
+    costs O(matching paths) instead of a full scan per revocation.
+
+    ``expiry_margin_ms`` mirrors :class:`IngressDatabase`: expiry drops
+    paths whose segment expires within the margin, keeping all per-AS
+    stores on one horizon.
     """
 
     max_paths_per_key: int = 20
+    expiry_margin_ms: float = 0.0
     _by_digest: Dict[str, RegisteredPath] = field(default_factory=dict)
     _quota: Dict[Tuple[str, int, Optional[int]], int] = field(default_factory=dict)
     #: Which quota keys each stored digest actually consumed a slot of, so
@@ -244,6 +342,10 @@ class PathService:
     _consumed: Dict[str, Tuple[Tuple[str, int, Optional[int]], ...]] = field(
         default_factory=dict
     )
+    #: Link → digests of registered segments crossing it.
+    _by_link: Dict[LinkID, Dict[str, None]] = field(default_factory=dict)
+    #: AS → digests of registered segments whose path contains it.
+    _by_as: Dict[int, Dict[str, None]] = field(default_factory=dict)
 
     def register(self, path: RegisteredPath) -> bool:
         """Register ``path``; return whether it was accepted (or merged)."""
@@ -277,6 +379,10 @@ class PathService:
             return False
         self._by_digest[digest] = path
         self._consumed[digest] = tuple(consumed)
+        for link in path.segment.links():
+            self._by_link.setdefault(link, {})[digest] = None
+        for as_id in path.segment.as_path():
+            self._by_as.setdefault(as_id, {})[digest] = None
         return True
 
     def paths_to(self, origin_as: int) -> List[RegisteredPath]:
@@ -317,12 +423,25 @@ class PathService:
         return list(self._by_digest.values())
 
     def remove_expired(self, now_ms: float) -> int:
-        """Drop registered paths whose segments have expired."""
+        """Drop paths whose segments are expired (or about to); return the count."""
+        horizon = now_ms + self.expiry_margin_ms
         return self._remove_digests(
             digest
             for digest, path in self._by_digest.items()
-            if path.segment.is_expired(now_ms)
+            if path.segment.is_expired(horizon)
         )
+
+    def remove_crossing_link(self, link_id: LinkID) -> int:
+        """Withdraw every path crossing ``link_id``; return the count.
+
+        Indexed (O(matching paths)): the revocation fast path.
+        """
+        failed = normalize_link_id(*link_id)
+        return self._remove_digests(tuple(self._by_link.get(failed, ())))
+
+    def remove_crossing_as(self, gone_as: int) -> int:
+        """Withdraw every path whose AS path contains ``gone_as``."""
+        return self._remove_digests(tuple(self._by_as.get(gone_as, ())))
 
     def remove_matching(self, predicate: Callable[[RegisteredPath], bool]) -> int:
         """Drop every registered path satisfying ``predicate``; return the count.
@@ -349,6 +468,18 @@ class PathService:
                     self._quota[key] = used - 1
                 elif used == 1:
                     del self._quota[key]
+            for link in path.segment.links():
+                members = self._by_link.get(link)
+                if members is not None:
+                    members.pop(digest, None)
+                    if not members:
+                        del self._by_link[link]
+            for as_id in path.segment.as_path():
+                members = self._by_as.get(as_id)
+                if members is not None:
+                    members.pop(digest, None)
+                    if not members:
+                        del self._by_as[as_id]
         return removed
 
     def __len__(self) -> int:

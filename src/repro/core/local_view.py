@@ -33,6 +33,13 @@ class LocalTopologyView:
     as_info: ASInfo
     intra_domain: IntraDomainModel
     links_by_interface: Dict[int, Link] = field(default_factory=dict)
+    #: Lazily cached sorted interface tuple; the view is immutable after
+    #: construction and ``interface_ids`` sits on per-message fast paths
+    #: (beacon rounds, revocation forwarding), so sorting once is enough.
+    #: Excluded from init/compare: a memo must not make equal views differ.
+    _interface_ids: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_topology(
@@ -62,7 +69,9 @@ class LocalTopologyView:
 
     def interface_ids(self) -> Tuple[int, ...]:
         """Return the local interfaces that have an attached link, sorted."""
-        return tuple(sorted(self.links_by_interface))
+        if self._interface_ids is None:
+            self._interface_ids = tuple(sorted(self.links_by_interface))
+        return self._interface_ids
 
     def link_of(self, interface_id: int) -> Link:
         """Return the inter-domain link attached to ``interface_id``."""

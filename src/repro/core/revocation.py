@@ -1,0 +1,307 @@
+"""Revocation messages: the control plane's reaction to failures, as traffic.
+
+Before this module existed, the dynamic-scenario engine modelled the
+post-failure revocation flood as an instantaneous counter bump: every AS's
+databases were purged at the failure timestamp and one notification per AS
+was added to the overhead counters.  That made convergence metrics blind to
+the quantity the measurement literature on routing events actually studies
+— how withdrawal *messages* spread through the topology over time.
+
+A :class:`RevocationMessage` is a first-class control-plane message:
+
+* it names one failed element (an inter-domain link or a departed AS),
+* it is originated by an AS adjacent to the failure, carries a per-origin
+  **sequence number**, and is **signed** by its origin exactly like a
+  beacon entry (receivers verify when signature checking is enabled),
+* it propagates **hop by hop** through the same transport as PCBs, paying
+  per-hop latency (link propagation + processing delay), and
+* every receiving control service deduplicates it by ``(origin_as,
+  sequence)`` within a configurable window, withdraws matching ingress /
+  path-service state through the existing ``invalidate_link`` /
+  ``invalidate_as`` machinery, records the withdrawal timestamp, and
+  re-forwards the message on every other interface.
+
+The flood therefore reaches ASes in propagation order: nearby ASes
+withdraw state before distant ones, partitioned ASes never hear about the
+failure at all (their stale state ages out via expiry), and a revocation
+whose next hop is itself unavailable is lost in flight — all of which the
+old counter model could not express.
+
+The handler logic lives here as module-level functions operating on a
+duck-typed control service (anything exposing ``as_id``, ``view``,
+``transport``, ``revocations``, ``builder.signer``, ``ingress.verifier``,
+``ingress.verify_signatures``, ``invalidate_link``, ``invalidate_as`` and
+an optional ``on_withdrawal`` callback), so the IREC and the legacy SCION
+control service share one implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.beacon import _memo
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import ConfigurationError, SignatureError
+from repro.topology.entities import LinkID, normalize_link_id
+
+#: Default dedup window: how long a control service remembers a revocation
+#: it has already processed.  One simulated hour comfortably covers any
+#: realistic flood (per-hop latencies are milliseconds) while bounding the
+#: memory of long simulations; a replay arriving after the window is
+#: re-applied, which is harmless because withdrawal is idempotent.
+DEFAULT_DEDUP_WINDOW_MS = 60.0 * 60.0 * 1000.0
+
+
+def _format_link(link_id: LinkID) -> str:
+    (as_a, if_a), (as_b, if_b) = link_id
+    return f"{as_a}.{if_a}-{as_b}.{if_b}"
+
+
+@dataclass(frozen=True)
+class RevocationMessage:
+    """One signed, sequence-numbered revocation of a failed network element.
+
+    Attributes:
+        origin_as: AS that detected the failure and originated the message
+            (an endpoint of the failed link, or a neighbour of the departed
+            AS).
+        sequence: Per-origin monotonic sequence number; ``(origin_as,
+            sequence)`` is the message's network-wide dedup identity.
+        created_at_ms: Simulated origination time.
+        failed_link: The revoked inter-domain link (normalised), or
+            ``None`` for an AS revocation.
+        failed_as: The departed AS, or ``None`` for a link revocation.
+        signature: Signature of ``origin_as`` over the canonical encoding.
+    """
+
+    origin_as: int
+    sequence: int
+    created_at_ms: float
+    failed_link: Optional[LinkID] = None
+    failed_as: Optional[int] = None
+    signature: bytes = b""
+
+    def __post_init__(self) -> None:
+        if (self.failed_link is None) == (self.failed_as is None):
+            raise ConfigurationError(
+                "a revocation names exactly one failed element (link or AS)"
+            )
+        if self.failed_link is not None:
+            object.__setattr__(self, "failed_link", normalize_link_id(*self.failed_link))
+        if self.sequence < 1:
+            raise ConfigurationError(f"sequence must be positive, got {self.sequence}")
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Return the network-wide dedup identity ``(origin_as, sequence)``."""
+        return (self.origin_as, self.sequence)
+
+    def encode_unsigned(self) -> str:
+        """Return the canonical encoding without the signature (memoized)."""
+
+        def compute() -> str:
+            if self.failed_link is not None:
+                element = f"link={_format_link(self.failed_link)}"
+            else:
+                element = f"as={self.failed_as}"
+            return (
+                f"revocation(origin={self.origin_as},seq={self.sequence},"
+                f"created={self.created_at_ms:.3f},{element})"
+            )
+
+        return _memo(self, "_encoded_unsigned", compute)
+
+    def signed(self, signer: Signer) -> "RevocationMessage":
+        """Return a copy carrying ``signer``'s signature over the encoding."""
+        signature = signer.sign(self.encode_unsigned().encode("utf-8"))
+        return replace(self, signature=signature)
+
+    def verify(self, verifier: Verifier) -> None:
+        """Raise :class:`SignatureError` unless the origin's signature is valid."""
+        verifier.verify(
+            self.origin_as, self.encode_unsigned().encode("utf-8"), self.signature
+        )
+
+    def trace_label(self) -> str:
+        """Return the stable one-line trace representation of the message."""
+        if self.failed_link is not None:
+            element = f"link {_format_link(self.failed_link)}"
+        else:
+            element = f"as {self.failed_as}"
+        return f"revoke {element} origin={self.origin_as} seq={self.sequence}"
+
+
+@dataclass
+class RevocationState:
+    """Per-control-service revocation bookkeeping.
+
+    Attributes:
+        dedup_window_ms: How long a processed ``(origin, sequence)`` key is
+            remembered; duplicates inside the window are dropped without
+            re-applying or re-forwarding.  Entries are pruned lazily in
+            first-seen order, so the memory cost is bounded by the number
+            of distinct revocations inside one window.
+        applied_at: First time each accepted revocation's withdrawal was
+            applied locally — the per-AS withdrawal timestamps that make
+            propagation-ordered convergence measurable.
+    """
+
+    dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
+    #: (origin, sequence) → first-seen time, insertion-ordered for pruning.
+    _seen: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    applied_at: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    received: int = 0
+    duplicates: int = 0
+    originated: int = 0
+    forwarded: int = 0
+    rejected_invalid: int = 0
+
+    def next_sequence(self) -> int:
+        """Return the next origination sequence number of this service."""
+        return next(self._sequence)
+
+    def is_duplicate(self, key: Tuple[int, int], now_ms: float) -> bool:
+        """Return whether ``key`` was already processed inside the window.
+
+        O(1) on the flood fast path: the hit checks the stored first-seen
+        timestamp directly; bulk pruning only runs once the seen-set grows
+        past a threshold, so memory stays bounded without paying an
+        iteration per message.
+        """
+        seen_at = self._seen.get(key)
+        if seen_at is None:
+            return False
+        if now_ms - seen_at > self.dedup_window_ms:
+            del self._seen[key]
+            return False
+        return True
+
+    def mark_seen(self, key: Tuple[int, int], now_ms: float) -> None:
+        """Remember ``key`` so later copies inside the window are duplicates."""
+        self._seen.setdefault(key, now_ms)
+        if len(self._seen) > 4096:
+            self._prune(now_ms)
+
+    def record_applied(self, key: Tuple[int, int], now_ms: float) -> None:
+        """Record when the withdrawal for ``key`` was first applied locally."""
+        self.applied_at.setdefault(key, now_ms)
+
+    def applied_from(self, origin_as: int) -> List[float]:
+        """Return the local withdrawal times of revocations from ``origin_as``."""
+        return [
+            at_ms for (origin, _seq), at_ms in self.applied_at.items() if origin == origin_as
+        ]
+
+    def _prune(self, now_ms: float) -> None:
+        # _seen is insertion-ordered by first-seen time and first-seen
+        # times never decrease, so expired entries form a prefix.
+        horizon = now_ms - self.dedup_window_ms
+        while self._seen:
+            key = next(iter(self._seen))
+            if self._seen[key] >= horizon:
+                break
+            del self._seen[key]
+
+
+def _interface_revoked(view, interface_id: int, message: RevocationMessage) -> bool:
+    """Return whether a local interface leads into the revoked element.
+
+    A service never transmits a revocation into the element it revokes: an
+    endpoint of the failed link knows that port is dead, and a neighbour of
+    a departed AS knows the AS is gone.  Other unavailable links are *not*
+    locally known — sends over them are attempted and dropped in flight by
+    the transport, which is exactly the "revocations crossing a failed link
+    are lost" semantics.
+    """
+    link = view.link_of(interface_id)
+    if message.failed_link is not None:
+        return link.key == message.failed_link
+    return view.neighbor_of(interface_id)[0] == message.failed_as
+
+
+def _apply(service, message: RevocationMessage, now_ms: float) -> Tuple[int, int]:
+    """Withdraw the revoked element's state locally; notify the listener."""
+    if message.failed_link is not None:
+        removed = service.invalidate_link(message.failed_link)
+    else:
+        removed = service.invalidate_as(message.failed_as)
+    service.revocations.record_applied(message.key, now_ms)
+    callback = getattr(service, "on_withdrawal", None)
+    if callback is not None:
+        callback(message, removed, now_ms)
+    return removed
+
+
+def _forward(
+    service, message: RevocationMessage, arrival_interface: Optional[int]
+) -> int:
+    """Re-send ``message`` on every eligible interface; return the count."""
+    sent = 0
+    for interface_id in service.view.interface_ids():
+        if interface_id == arrival_interface:
+            continue
+        if _interface_revoked(service.view, interface_id, message):
+            continue
+        service.transport.send_revocation(service.as_id, interface_id, message)
+        sent += 1
+    service.revocations.forwarded += sent
+    return sent
+
+
+def originate_revocation(
+    service,
+    now_ms: float,
+    failed_link: Optional[LinkID] = None,
+    failed_as: Optional[int] = None,
+) -> RevocationMessage:
+    """Originate, locally apply and flood one revocation from ``service``.
+
+    Called by the beaconing driver on the ASes adjacent to a failure (the
+    endpoints of a failed link; the neighbours of a departed AS).  The
+    origin withdraws its own state immediately — it detected the failure —
+    and the message starts its hop-by-hop journey to everyone else.
+    """
+    state: RevocationState = service.revocations
+    message = RevocationMessage(
+        origin_as=service.as_id,
+        sequence=state.next_sequence(),
+        created_at_ms=now_ms,
+        failed_link=failed_link,
+        failed_as=failed_as,
+    ).signed(service.builder.signer)
+    state.originated += 1
+    # Mark the own message seen so a copy reflected back over a cycle is a
+    # duplicate, not a fresh withdrawal.
+    state.mark_seen(message.key, now_ms)
+    _apply(service, message, now_ms)
+    _forward(service, message, arrival_interface=None)
+    return message
+
+
+def handle_revocation(
+    service, message: RevocationMessage, on_interface: int, now_ms: float
+) -> bool:
+    """Process one delivered revocation at ``service``.
+
+    Returns ``True`` when the message was fresh and applied (and therefore
+    re-forwarded); ``False`` for duplicates and invalid signatures.
+    """
+    state: RevocationState = service.revocations
+    state.received += 1
+    if state.is_duplicate(message.key, now_ms):
+        state.duplicates += 1
+        return False
+    if service.ingress.verify_signatures:
+        try:
+            message.verify(service.ingress.verifier)
+        except SignatureError:
+            # Not marked seen: a later authentic copy must still process.
+            state.rejected_invalid += 1
+            return False
+    state.mark_seen(message.key, now_ms)
+    _apply(service, message, now_ms)
+    _forward(service, message, arrival_interface=on_interface)
+    return True

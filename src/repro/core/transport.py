@@ -1,9 +1,10 @@
 """Control-plane transport abstraction.
 
-Control services need three inter-AS interactions: sending a PCB to a
+Control services need four inter-AS interactions: sending a PCB to a
 neighbouring AS over a specific egress interface, returning a pull-based
-PCB to its origin AS, and fetching an on-demand algorithm payload from its
-origin AS.  The transport is abstracted behind a small protocol so that
+PCB to its origin AS, fetching an on-demand algorithm payload from its
+origin AS, and forwarding a revocation message to a neighbouring AS.  The
+transport is abstracted behind a small protocol so that
 
 * the discrete-event simulation can deliver messages with realistic link
   delays and count propagated PCBs per interface and period (Figure 8c),
@@ -34,6 +35,9 @@ class ControlPlaneTransport(Protocol):
     def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
         """Fetch an on-demand algorithm payload from ``origin_as``."""
 
+    def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
+        """Deliver ``revocation`` over the link attached to ``egress_interface``."""
+
 
 @dataclass
 class NullTransport:
@@ -44,6 +48,7 @@ class NullTransport:
 
     sent: List[Tuple[int, int, Beacon]] = field(default_factory=list)
     returned: List[Tuple[int, Beacon]] = field(default_factory=list)
+    revoked: List[Tuple[int, int, object]] = field(default_factory=list)
     payloads: Dict[Tuple[int, str], bytes] = field(default_factory=dict)
 
     def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
@@ -63,6 +68,10 @@ class NullTransport:
                 f"no payload configured for ({origin_as}, {algorithm_id!r})"
             ) from None
 
+    def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
+        """Record the revocation without delivering it."""
+        self.revoked.append((sender_as, egress_interface, revocation))
+
 
 @dataclass
 class LoopbackTransport:
@@ -78,6 +87,7 @@ class LoopbackTransport:
     clock: Callable[[], float] = lambda: 0.0
     services: Dict[int, "object"] = field(default_factory=dict)
     sent_count: int = 0
+    revocations_sent: int = 0
 
     def register(self, service: "object") -> None:
         """Register a control service (anything with ``as_id`` and handlers)."""
@@ -106,3 +116,13 @@ class LoopbackTransport:
         if service is None:
             raise UnknownASError(origin_as)
         return service.serve_algorithm(algorithm_id)
+
+    def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
+        """Deliver ``revocation`` synchronously to the far end of the link."""
+        link = self.topology.link_of_interface((sender_as, egress_interface))
+        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
+        service = self.services.get(remote_as)
+        if service is None:
+            raise UnknownASError(remote_as)
+        self.revocations_sent += 1
+        service.on_revocation(revocation, on_interface=remote_interface, now_ms=self.clock())

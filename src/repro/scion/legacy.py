@@ -31,6 +31,12 @@ from repro.core.databases import (
 )
 from repro.core.control_service import purge_as_state, purge_link_state
 from repro.core.ingress import IngressGateway
+from repro.core.revocation import (
+    RevocationMessage,
+    RevocationState,
+    handle_revocation as _handle_revocation,
+    originate_revocation as _originate_revocation,
+)
 from repro.core.local_view import LocalTopologyView
 from repro.core.transport import ControlPlaneTransport
 from repro.crypto.keys import KeyStore
@@ -80,10 +86,13 @@ class LegacyControlService:
         self.ingress = IngressGateway(
             as_id=view.as_id,
             verifier=Verifier(key_store=key_store),
-            database=IngressDatabase(),
+            database=IngressDatabase(local_as=view.as_id),
             verify_signatures=verify_signatures,
         )
         self.path_service = PathService(max_paths_per_key=paths_per_origin)
+        self.revocations = RevocationState()
+        #: Withdrawal callback, same contract as the IREC control service.
+        self.on_withdrawal = None
         self.algorithm: KShortestPathAlgorithm = (
             legacy_scion_algorithm()
             if paths_per_origin == 20
@@ -124,6 +133,24 @@ class LegacyControlService:
     def invalidate_as(self, gone_as: int) -> Tuple[int, int]:
         """Withdraw beacons/paths crossing a departed AS; return the counts."""
         return purge_as_state(self.ingress.database, self.path_service, gone_as)
+
+    def originate_revocation(
+        self,
+        now_ms: float,
+        failed_link=None,
+        failed_as: Optional[int] = None,
+    ) -> RevocationMessage:
+        """Originate, apply and flood a signed revocation for a local failure."""
+        return _originate_revocation(
+            self, now_ms, failed_link=failed_link, failed_as=failed_as
+        )
+
+    def on_revocation(
+        self, revocation: RevocationMessage, on_interface: int, now_ms: float
+    ) -> bool:
+        """Handle a revocation delivered by a neighbouring AS (dedup, withdraw,
+        re-forward) — legacy ASes participate in the flood like IREC ASes."""
+        return _handle_revocation(self, revocation, on_interface, now_ms)
 
     # ------------------------------------------------------------------
     # beaconing

@@ -14,10 +14,14 @@ simulation.
 Dynamic scenarios add a timeline of typed events
 (:mod:`repro.simulation.events`) that the driver schedules on its
 discrete-event scheduler, so a link failure scheduled mid-period really
-interrupts propagation: in-flight PCBs on the link are lost, every control
-service withdraws state crossing the failed element, and the
-:class:`~repro.simulation.collector.ConvergenceCollector` measures how
-watched AS pairs recover over the following periods.
+interrupts propagation: in-flight PCBs on the link are lost, the ASes
+adjacent to the failure originate signed
+:class:`~repro.core.revocation.RevocationMessage`\\ s that flood hop-by-hop
+through the simulated transport (each AS withdraws state crossing the
+failed element when the revocation *arrives*, then re-forwards it), and
+the :class:`~repro.simulation.collector.ConvergenceCollector` measures how
+watched AS pairs recover over the following periods — with withdrawal
+timing now topology-dependent instead of instantaneous.
 """
 
 from __future__ import annotations
@@ -111,6 +115,12 @@ class BeaconingSimulation:
         #: been applied; the traffic engine subscribes here so failures
         #: break active flows the instant they fire.
         self.event_listeners: List = []
+        #: Callbacks ``(as_id, message, removed, now_ms)`` invoked when a
+        #: revocation message withdraws state at one AS — i.e. when the
+        #: flood *reaches* that AS, not when the failure fired.  The
+        #: traffic engine subscribes here to break flows at withdrawal
+        #: time.
+        self.revocation_listeners: List = []
         self._periods_run = 0
         self._interval_ms = scenario.propagation_interval_ms
         self._next_period_start_ms = 0.0
@@ -148,12 +158,15 @@ class BeaconingSimulation:
                     grouping_policy=self.scenario.grouping_policy,
                     config=ControlServiceConfig(
                         verify_signatures=self.scenario.verify_signatures,
+                        revocation_dedup_window_ms=self.scenario.revocation_dedup_window_ms,
                     ),
                 )
                 specs = self._deployed_specs.setdefault(as_info.as_id, {})
                 for spec in self.scenario.algorithms:
                     self._install_rac(service, spec)
                     specs[spec.rac_id] = spec
+            service.revocations.dedup_window_ms = self.scenario.revocation_dedup_window_ms
+            service.on_withdrawal = self._withdrawal_notifier(as_info.as_id)
             self.services[as_info.as_id] = service
             self.transport.register(service)
 
@@ -304,15 +317,16 @@ class BeaconingSimulation:
         event = timed.event
         if isinstance(event, LinkFailure):
             self.link_state.fail_link(event.link_id)
-            self._flood_invalidation("invalidate_link", event.link_id)
+            self._originate_revocations(failed_link=event.link_id)
         elif isinstance(event, LinkRecovery):
             self.link_state.restore_link(event.link_id)
         elif isinstance(event, ASLeave):
             self.link_state.set_as_offline(event.as_id)
-            # The departing AS restarts cold, and everyone else withdraws
-            # state crossing it.
+            # The departing AS restarts cold; its neighbours detect the
+            # loss and originate revocations, so everyone *reachable*
+            # withdraws state crossing it as the flood arrives.
             self._cold_restart(self.services[event.as_id])
-            self._flood_invalidation("invalidate_as", event.as_id, skip_as=event.as_id)
+            self._originate_revocations(failed_as=event.as_id)
         elif isinstance(event, ASJoin):
             self.link_state.set_as_online(event.as_id)
         elif isinstance(event, PolicySwap):
@@ -383,19 +397,46 @@ class BeaconingSimulation:
                 raise UnknownASError(as_id)
         return [self.services[as_id] for as_id in sorted(as_ids)]
 
-    def _flood_invalidation(self, method: str, argument, skip_as: Optional[int] = None) -> None:
-        """Invalidate state at every online AS, counting the notifications.
+    def _originate_revocations(
+        self, failed_link: Optional[Tuple] = None, failed_as: Optional[int] = None
+    ) -> None:
+        """Have the ASes adjacent to a failure originate revocation messages.
 
-        Models the revocation flood that follows a failure: one control
-        message per notified AS, recorded as overhead in the collector.
+        The endpoints of a failed link (or the neighbours of a departed AS)
+        detect the failure locally: each originates one signed
+        :class:`~repro.core.revocation.RevocationMessage`, withdraws its own
+        state immediately and floods the message hop-by-hop through the
+        transport.  Every other AS withdraws when (and if) a copy arrives —
+        replacing the old instantaneous counter flood with real,
+        propagation-limited control-plane traffic.
         """
-        notified = 0
-        for service in self._services_in_order():
-            if service.as_id == skip_as or not self.link_state.is_as_up(service.as_id):
+        if failed_link is not None:
+            (as_a, _if_a), (as_b, _if_b) = failed_link
+            origins = sorted({as_a, as_b})
+        else:
+            origins = list(self.topology.neighbors(failed_as))
+        for as_id in origins:
+            if not self.link_state.is_as_up(as_id):
                 continue
-            getattr(service, method)(argument)
-            notified += 1
-        self.collector.record_revocations(notified)
+            self.services[as_id].originate_revocation(
+                now_ms=self.scheduler.now_ms,
+                failed_link=failed_link,
+                failed_as=failed_as,
+            )
+
+    def add_revocation_listener(self, listener) -> None:
+        """Register an ``(as_id, message, removed, now_ms)`` callback fired
+        whenever a revocation message withdraws state at an AS."""
+        self.revocation_listeners.append(listener)
+
+    def _withdrawal_notifier(self, as_id: int):
+        """Return the per-service withdrawal callback fanning out to listeners."""
+
+        def notify(message, removed, now_ms: float, _as_id=as_id) -> None:
+            for listener in self.revocation_listeners:
+                listener(_as_id, message, removed, now_ms)
+
+        return notify
 
     # ------------------------------------------------------------------
     # execution

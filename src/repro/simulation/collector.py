@@ -35,10 +35,12 @@ class MetricsCollector:
         default_factory=lambda: defaultdict(int)
     )
     _returned: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _revocations: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _fetches: int = 0
     total_sent: int = 0
     total_dropped: int = 0
     total_revocations: int = 0
+    revocations_dropped: int = 0
 
     def record_send(self, sender_as: int, interface_id: int, time_ms: float) -> None:
         """Record one PCB transmission."""
@@ -59,9 +61,21 @@ class MetricsCollector:
         """Record one PCB lost on an unavailable link (dynamic scenarios)."""
         self.total_dropped += 1
 
-    def record_revocations(self, count: int) -> None:
-        """Record revocation notifications flooded after a failure event."""
-        self.total_revocations += count
+    def record_revocation(self, sender_as: int, interface_id: int, time_ms: float) -> None:
+        """Record one hop-by-hop revocation message transmission.
+
+        Revocations are real transported messages since PR 4; each
+        transmission is recorded here — and *only* here, never through
+        :meth:`record_send` — so :meth:`control_messages_total` counts every
+        revocation exactly once.
+        """
+        period = int(time_ms // self.period_ms)
+        self._revocations[period] += 1
+        self.total_revocations += 1
+
+    def record_revocation_drop(self, time_ms: float) -> None:
+        """Record one revocation lost on an unavailable link in flight."""
+        self.revocations_dropped += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -98,12 +112,19 @@ class MetricsCollector:
         """Return the total number of remote payload fetches recorded."""
         return self._fetches
 
+    def revocations_in_period(self, period: int) -> int:
+        """Return the revocation messages sent during ``period``."""
+        return self._revocations.get(period, 0)
+
     def control_messages_total(self) -> int:
         """Return every control-plane message sent so far.
 
         Sends (including ones later dropped in flight), pull returns and
-        revocation notifications all count; the convergence collector
-        snapshots this to attribute overhead to individual events.
+        revocation messages all count.  Each revocation transmission is
+        recorded once (via :meth:`record_revocation`, which is disjoint
+        from :meth:`record_send`), so no message is double-counted; the
+        convergence collector snapshots this to attribute overhead to
+        individual events.
         """
         return self.total_sent + self.returned_beacons() + self.total_revocations
 
@@ -111,10 +132,12 @@ class MetricsCollector:
         """Zero all counters."""
         self._counts.clear()
         self._returned.clear()
+        self._revocations.clear()
         self._fetches = 0
         self.total_sent = 0
         self.total_dropped = 0
         self.total_revocations = 0
+        self.revocations_dropped = 0
 
 
 @dataclass

@@ -20,12 +20,28 @@ from repro.exceptions import SimulationError
 EventCallback = Callable[[float], None]
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time_ms: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One queued ``(time, callback)`` pair.
+
+    A plain slotted class with a hand-written ``__lt__``: heap pushes and
+    pops compare events millions of times per simulation, and the
+    dataclass-generated comparison (which builds field tuples per call)
+    showed up prominently in flood profiles.  Ordering is (time, sequence)
+    with sequence unique, exactly as before.
+    """
+
+    __slots__ = ("time_ms", "sequence", "callback", "cancelled")
+
+    def __init__(self, time_ms: float, sequence: int, callback: EventCallback) -> None:
+        self.time_ms = time_ms
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        if self.time_ms != other.time_ms:
+            return self.time_ms < other.time_ms
+        return self.sequence < other.sequence
 
 
 @dataclass

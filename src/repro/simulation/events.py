@@ -49,9 +49,12 @@ class ScenarioEvent:
 class LinkFailure(ScenarioEvent):
     """An inter-domain link goes down.
 
-    In-flight PCBs on the link are lost, future sends over it are dropped,
-    and every control service withdraws beacons and registered paths whose
-    path crosses the link (modelling a revocation flood).
+    In-flight PCBs on the link are lost and future sends over it are
+    dropped.  The link's endpoint ASes originate signed revocation
+    messages that flood hop-by-hop (:mod:`repro.core.revocation`); every
+    other control service withdraws beacons and registered paths crossing
+    the link when the revocation *arrives* — withdrawal timing is
+    topology-dependent, not instantaneous.
     """
 
     link_id: LinkID
@@ -84,8 +87,10 @@ class LinkRecovery(ScenarioEvent):
 class ASLeave(ScenarioEvent):
     """An AS leaves the network (churn).
 
-    All of the AS's links become unusable, the AS stops originating and
-    processing beacons, and every other AS withdraws state crossing it.
+    All of the AS's links become unusable and the AS stops originating and
+    processing beacons.  Its neighbours originate revocation messages, so
+    every *reachable* AS withdraws state crossing it as the flood arrives;
+    partitioned ASes keep stale state until it expires.
     """
 
     as_id: int

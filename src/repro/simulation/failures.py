@@ -71,11 +71,19 @@ class LinkState:
 
     def link_available(self, link_id: LinkID) -> bool:
         """Return whether traffic can traverse ``link_id`` right now."""
-        normalised = normalize_link_id(*link_id)
-        if normalised in self.failed_links:
+        return self.link_key_available(normalize_link_id(*link_id))
+
+    def link_key_available(self, key: LinkID) -> bool:
+        """:meth:`link_available` for an already-normalised key.
+
+        The transport's per-delivery fast path: link objects expose
+        normalised keys, so re-normalising per message would only burn
+        cycles during floods.
+        """
+        if key in self.failed_links:
             return False
-        (as_a, _if_a), (as_b, _if_b) = normalised
-        return self.is_as_up(as_a) and self.is_as_up(as_b)
+        (as_a, _if_a), (as_b, _if_b) = key
+        return as_a not in self.offline_ases and as_b not in self.offline_ases
 
     def path_available(self, path_links: Iterable[LinkID]) -> bool:
         """Return whether every link of a path is currently available."""

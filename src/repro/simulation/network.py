@@ -78,7 +78,7 @@ class SimulatedTransport:
         if (
             self.link_state is not None
             and self.link_state.impaired()
-            and not self.link_state.link_available(link.key)
+            and not self.link_state.link_key_available(link.key)
         ):
             self.collector.record_drop(self.scheduler.now_ms)
             return
@@ -100,13 +100,61 @@ class SimulatedTransport:
                 self.link_state is not None
                 and self.link_state.impaired()
                 and (
-                    not self.link_state.link_available(_link_key)
+                    not self.link_state.link_key_available(_link_key)
                     or not self.link_state.path_available(_beacon.links())
                 )
             ):
                 self.collector.record_drop(now_ms)
                 return
             _receiver.receive_beacon(_beacon, on_interface=_interface, now_ms=now_ms)
+
+        if self.deliver_immediately:
+            deliver(self.scheduler.now_ms + delay_ms)
+        else:
+            self.scheduler.schedule_in(delay_ms, deliver)
+
+    def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
+        """Deliver ``revocation`` to the AS at the far end of the egress link.
+
+        Revocations travel exactly like PCBs — one hop at a time, paying
+        the link's propagation delay plus the processing overhead — and are
+        recorded separately from PCB sends so the overhead accounting
+        counts each revocation message exactly once.  A revocation whose
+        carrying link is unavailable now or at delivery time is lost
+        (e.g. a revocation for one failed link crossing another failed
+        link): the far side then only learns of the failure over some other
+        path, or never.
+        """
+        link = self.topology.link_of_interface((sender_as, egress_interface))
+        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
+        receiver = self.service_of(remote_as)
+        self.collector.record_revocation(sender_as, egress_interface, self.scheduler.now_ms)
+
+        if (
+            self.link_state is not None
+            and self.link_state.impaired()
+            and not self.link_state.link_key_available(link.key)
+        ):
+            self.collector.record_revocation_drop(self.scheduler.now_ms)
+            return
+
+        delay_ms = link.latency_ms + self.processing_delay_ms
+
+        def deliver(
+            now_ms: float,
+            _receiver=receiver,
+            _revocation=revocation,
+            _interface=remote_interface,
+            _link_key=link.key,
+        ):
+            if (
+                self.link_state is not None
+                and self.link_state.impaired()
+                and not self.link_state.link_key_available(_link_key)
+            ):
+                self.collector.record_revocation_drop(now_ms)
+                return
+            _receiver.on_revocation(_revocation, on_interface=_interface, now_ms=now_ms)
 
         if self.deliver_immediately:
             deliver(self.scheduler.now_ms + delay_ms)

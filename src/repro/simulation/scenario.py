@@ -21,6 +21,7 @@ from repro.core.interface_groups import (
     InterfaceGroupingPolicy,
     SingleGroupPolicy,
 )
+from repro.core.revocation import DEFAULT_DEDUP_WINDOW_MS
 from repro.exceptions import ConfigurationError
 from repro.simulation.events import ScenarioTimeline, TimelineCursor
 from repro.units import minutes
@@ -71,10 +72,16 @@ class ScenarioConfig:
             (disable for large topologies to keep runtime reasonable).
         legacy_ases: ASes that run the legacy SCION control service instead
             of IREC (used by the backward-compatibility experiment).
-        processing_delay_ms: Per-hop control-plane processing delay.
+        processing_delay_ms: Per-hop control-plane processing delay.  Also
+            the per-hop processing cost of revocation messages: one
+            revocation hop takes ``link latency + processing_delay_ms``.
         timeline: Timed dynamic events (failures, churn, policy/RAC swaps,
             period changes) applied by the beaconing driver while the
             simulation runs; see :mod:`repro.simulation.events`.
+        revocation_dedup_window_ms: How long every control service
+            remembers processed revocation ``(origin, sequence)`` keys;
+            duplicates inside the window are dropped without re-applying
+            or re-forwarding (see :mod:`repro.core.revocation`).
     """
 
     algorithms: Tuple[AlgorithmSpec, ...]
@@ -85,6 +92,7 @@ class ScenarioConfig:
     legacy_ases: Tuple[int, ...] = ()
     processing_delay_ms: float = 1.0
     timeline: ScenarioTimeline = field(default_factory=ScenarioTimeline)
+    revocation_dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
 
     def __post_init__(self) -> None:
         if not self.algorithms and not self.legacy_ases:

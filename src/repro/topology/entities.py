@@ -96,8 +96,17 @@ class Link:
 
     @property
     def key(self) -> LinkID:
-        """Return the normalised (order-independent) link identifier."""
-        return normalize_link_id(self.interface_a, self.interface_b)
+        """Return the normalised (order-independent) link identifier.
+
+        Memoized in the instance ``__dict__`` (invisible to dataclass
+        equality/hashing): the transport resolves ``key`` on every
+        delivery, so the normalisation must not repeat per message.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = normalize_link_id(self.interface_a, self.interface_b)
+            self.__dict__["_key"] = cached
+        return cached
 
     @property
     def as_pair(self) -> Tuple[int, int]:

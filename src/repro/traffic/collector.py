@@ -164,10 +164,13 @@ class TrafficCollector:
         The pre-event baseline is the last sample strictly before
         ``event_time_ms`` (a round sharing the event's timestamp runs
         *after* it — the scheduler breaks ties FIFO and events are
-        scheduled first); recovery is the first later sample whose carried
-        rate is back within ``tolerance`` (relative) of that baseline.
-        ``None`` means goodput never dipped below the band, or has not
-        recovered by the end of the recording.
+        scheduled first); recovery is the first in-band sample (carried
+        rate within ``tolerance``, relative, of the baseline) after the
+        *last* dip — an in-band sample followed by another dip is a
+        transient, not a recovery, so oscillating goodput dates the
+        recovery after the oscillation settles.  ``None`` means goodput
+        never dipped below the band, or has not recovered by the end of
+        the recording.
         """
         baseline = None
         for sample in self.samples:
@@ -179,14 +182,20 @@ class TrafficCollector:
             return None
         floor = baseline * (1.0 - tolerance)
         dipped = False
+        recovered_at = None
         for sample in self.samples:
             if sample.time_ms < event_time_ms:
                 continue
             if sample.carried_mbps < floor:
+                # A dip voids any earlier recovery candidate: goodput must
+                # stay in band for the rest of the recording to count.
                 dipped = True
-            elif dipped:
-                return sample.time_ms - event_time_ms
-        return None
+                recovered_at = None
+            elif dipped and recovered_at is None:
+                recovered_at = sample.time_ms
+        if recovered_at is None:
+            return None
+        return recovered_at - event_time_ms
 
     def trace_text(self) -> str:
         """Return the deterministic trace as one newline-joined string."""

@@ -17,13 +17,16 @@ Per round, every flow group
    demand and the max-min weight), and
 3. receives a weighted max-min fair share of every traversed link.
 
-Coupling to the PR 2 scenario engine is event-driven: attached to a
+Coupling to the scenario engine is message-driven: attached to a
 :class:`~repro.simulation.beaconing.BeaconingSimulation`, the engine
-subscribes to applied timeline events, so a link failure breaks the flow
-groups riding the link *at the event's timestamp* — the next round
-re-selects from the (by then withdrawn/re-registered) path service, and
-the :class:`~repro.traffic.collector.TrafficCollector` turns the gap into
-time-to-reroute and goodput dip/recovery curves.
+subscribes to revocation withdrawals, so a link failure breaks the flow
+groups riding the link *when the revocation message reaches each group's
+source AS* — near sources react before far ones, exactly like their
+control planes.  (The data plane is still physically broken from the
+failure instant onwards: rounds never offer demand onto unavailable
+links.)  The next round re-selects from the withdrawn/re-registered path
+service, and the :class:`~repro.traffic.collector.TrafficCollector` turns
+the gap into time-to-reroute and goodput dip/recovery curves.
 
 The per-round fast path is aggregate-batched: groups sharing a forwarding
 path merge into one :class:`~repro.traffic.links.PathLoad`, path links are
@@ -133,6 +136,10 @@ class TrafficEngine:
         self._total_flows = matrix.total_flows
         self._state: List[_GroupState] = [_GroupState() for _ in self._groups]
         self._hosts: Dict[int, EndHost] = {}
+        #: source AS → group indices (for revocation-driven breaking).
+        self._groups_by_source: Dict[int, List[int]] = {}
+        for group_index, group in enumerate(self._groups):
+            self._groups_by_source.setdefault(group.source_as, []).append(group_index)
         #: digest → (link indices, path latency); shared across groups.
         self._path_cache: Dict[str, Tuple[Tuple[int, ...], float]] = {}
         #: link index → group ids currently riding the link (for event-
@@ -164,9 +171,11 @@ class TrafficEngine:
         """Attach a traffic engine to a running beaconing simulation.
 
         The engine shares the simulation's scheduler and link state,
-        selects from its per-AS path services, and subscribes to applied
-        timeline events so failures break flows the moment they fire.
-        Call :meth:`schedule_rounds` before ``simulation.run()``.
+        selects from its per-AS path services, and subscribes to both
+        applied timeline events (churn breaks endpoint flows immediately)
+        and revocation withdrawals (transit failures break flows when the
+        revocation reaches each group's source AS).  Call
+        :meth:`schedule_rounds` before ``simulation.run()``.
         """
         network = None
         if probe_paths:
@@ -191,6 +200,7 @@ class TrafficEngine:
             probe_network=network,
         )
         simulation.add_event_listener(engine.on_scenario_event)
+        simulation.add_revocation_listener(engine.on_revocation)
         return engine
 
     def _host_for(self, as_id: int) -> EndHost:
@@ -211,27 +221,42 @@ class TrafficEngine:
         """Break active flow groups invalidated by a scenario event.
 
         Registered as a :meth:`BeaconingSimulation.add_event_listener`
-        callback; recoveries need no action here because black-holed groups
-        re-select at every subsequent round.
+        callback.  Only *locally observable* failures break flows here: a
+        departed source/destination AS takes its endpoint groups down
+        instantly.  Transit failures (a link dying somewhere on the path)
+        are control-plane news — those groups break in :meth:`on_revocation`
+        when the revocation message reaches their source AS, so break
+        timestamps are propagation-ordered.  Recoveries need no action
+        because black-holed groups re-select at every subsequent round.
         """
-        if isinstance(event, LinkFailure):
-            self._break_links((self.link_model.link_index(event.link_id),), event, now_ms)
-        elif isinstance(event, ASLeave):
-            self._break_links(self._links_by_as.get(event.as_id, ()), event, now_ms)
+        if isinstance(event, ASLeave):
             self._break_endpoint_groups(event.as_id, event, now_ms)
-        elif isinstance(event, (LinkRecovery, ASJoin)):
+        elif isinstance(event, (LinkFailure, LinkRecovery, ASJoin)):
             return
         # Policy/RAC swaps and period changes do not invalidate forwarding
         # state; withdrawn paths surface at the next round's revalidation.
 
-    def _break_links(
-        self, link_indices: Tuple[int, ...], event: ScenarioEvent, now_ms: float
-    ) -> None:
-        victims: Set[int] = set()
-        for index in link_indices:
-            victims.update(self._groups_by_link.get(index, ()))
-        for group_index in sorted(victims):
-            self._invalidate_group(group_index, event.trace_label(), now_ms)
+    def on_revocation(self, as_id: int, revocation, removed, now_ms: float) -> None:
+        """Break flow groups whose paths a revocation just withdrew.
+
+        Registered as a :meth:`BeaconingSimulation.add_revocation_listener`
+        callback: fired when the revocation flood reaches ``as_id`` and its
+        path service withdraws state.  Groups sourced at that AS whose
+        selected paths vanished are broken *now* — at withdrawal-arrival
+        time, not at the failure timestamp.
+        """
+        _ingress_removed, paths_removed = removed
+        if not paths_removed:
+            return
+        service = self.path_services.get(as_id)
+        if service is None:
+            return
+        for group_index in self._groups_by_source.get(as_id, ()):
+            state = self._state[group_index]
+            if not state.assigned:
+                continue
+            if any(service.get(use.digest) is None for use in state.uses):
+                self._invalidate_group(group_index, revocation.trace_label(), now_ms)
 
     def _break_endpoint_groups(
         self, as_id: int, event: ScenarioEvent, now_ms: float

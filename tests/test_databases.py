@@ -200,3 +200,122 @@ class TestPathService:
         # Removing X finally frees "a".
         assert service.remove_matching(lambda path: True) == 1
         assert service.register(self._registered(key_store, via=4, tags=("a",)))
+
+
+class TestUnifiedExpiryMargins:
+    """Satellite regression (PR 4): all three per-AS stores honour one
+    expiry horizon, so a beacon never survives in one store after being
+    dropped from another."""
+
+    def test_all_stores_drop_within_the_same_margin(self, key_store):
+        margin = 1_000.0
+        beacon = make_beacon(key_store, [(1, None, 1), (2, 1, 2)], validity_ms=500.0)
+        segment = make_beacon(key_store, [(1, None, 1), (2, 1, None)], validity_ms=500.0)
+        ingress = IngressDatabase(expiry_margin_ms=margin)
+        egress = EgressDatabase(expiry_margin_ms=margin)
+        paths = PathService(expiry_margin_ms=margin)
+        ingress.insert(stored(beacon))
+        egress.filter_new_interfaces(beacon.digest(), [1], expires_at_ms=beacon.expires_at_ms())
+        paths.register(
+            RegisteredPath(segment=segment, criteria_tags=("x",), registered_at_ms=0.0)
+        )
+        # now=0: none of the entries is expired, but all expire within the
+        # margin — every store must drop them together.
+        assert ingress.remove_expired(now_ms=0.0) == 1
+        assert egress.remove_expired(now_ms=0.0) == 1
+        assert paths.remove_expired(now_ms=0.0) == 1
+
+    def test_all_stores_keep_entries_outside_the_margin(self, key_store):
+        margin = 100.0
+        beacon = make_beacon(key_store, [(1, None, 1), (2, 1, 2)], validity_ms=5_000.0)
+        segment = make_beacon(key_store, [(1, None, 1), (2, 1, None)], validity_ms=5_000.0)
+        ingress = IngressDatabase(expiry_margin_ms=margin)
+        egress = EgressDatabase(expiry_margin_ms=margin)
+        paths = PathService(expiry_margin_ms=margin)
+        ingress.insert(stored(beacon))
+        egress.filter_new_interfaces(beacon.digest(), [1], expires_at_ms=beacon.expires_at_ms())
+        paths.register(
+            RegisteredPath(segment=segment, criteria_tags=("x",), registered_at_ms=0.0)
+        )
+        assert ingress.remove_expired(now_ms=0.0) == 0
+        assert egress.remove_expired(now_ms=0.0) == 0
+        assert paths.remove_expired(now_ms=0.0) == 0
+
+
+class TestIndexedInvalidation:
+    """The link/AS indexes behind revocation-driven withdrawal must remove
+    exactly what the predicate scan removes."""
+
+    def _populate(self, key_store, database):
+        crossing = make_beacon(key_store, [(1, None, 1), (2, 1, 2)])
+        other = make_beacon(key_store, [(3, None, 1), (2, 1, 2)])
+        database.insert(stored(crossing, interface=1))
+        database.insert(stored(other, interface=1))
+        return crossing, other
+
+    def test_indexed_link_removal_matches_scan(self, key_store):
+        indexed = IngressDatabase(local_as=9)
+        scanned = IngressDatabase()
+        a_idx, b_idx = self._populate(key_store, indexed)
+        self._populate(key_store, scanned)
+        failed = ((1, 1), (2, 1))  # interior link of the first beacon
+        assert indexed.remove_crossing_link(failed) == 1
+        assert scanned.remove_crossing_link(failed, arrival_as=9) == 1
+        assert sorted(s.beacon.digest() for s in indexed.all_beacons()) == sorted(
+            s.beacon.digest() for s in scanned.all_beacons()
+        )
+        assert a_idx.digest() not in indexed
+        assert b_idx.digest() in indexed
+
+    def test_indexed_arrival_link_removal(self, key_store):
+        # Both beacons arrived over 2.2 -> 9.1; failing that arrival link
+        # must purge them from the indexed and the scanning store alike.
+        indexed = IngressDatabase(local_as=9)
+        scanned = IngressDatabase()
+        self._populate(key_store, indexed)
+        self._populate(key_store, scanned)
+        arrival = ((2, 2), (9, 1))
+        assert indexed.remove_crossing_link(arrival) == 2
+        assert scanned.remove_crossing_link(arrival, arrival_as=9) == 2
+        assert len(indexed) == 0 and len(scanned) == 0
+
+    def test_indexed_as_removal_matches_scan(self, key_store):
+        indexed = IngressDatabase(local_as=9)
+        scanned = IngressDatabase()
+        self._populate(key_store, indexed)
+        self._populate(key_store, scanned)
+        assert indexed.remove_crossing_as(1) == 1
+        assert scanned.remove_crossing_as(1) == 1
+        assert indexed.remove_crossing_as(2) == 1
+        assert scanned.remove_crossing_as(2) == 1
+        assert len(indexed) == 0 and len(scanned) == 0
+
+    def test_index_cleaned_on_generic_removal(self, key_store):
+        database = IngressDatabase(local_as=9)
+        crossing, _other = self._populate(key_store, database)
+        # Remove through the generic predicate path, then make sure the
+        # link index no longer resurrects the digest.
+        assert database.remove_matching(
+            lambda s: s.beacon.digest() == crossing.digest()
+        ) == 1
+        assert database.remove_crossing_link(((1, 1), (2, 1))) == 0
+
+    def test_path_service_link_and_as_indexes(self, key_store):
+        service = PathService()
+        crossing = make_beacon(key_store, [(1, None, 1), (2, 1, None)])
+        other = make_beacon(key_store, [(3, None, 1), (2, 1, None)])
+        service.register(
+            RegisteredPath(segment=crossing, criteria_tags=("x",), registered_at_ms=0.0)
+        )
+        service.register(
+            RegisteredPath(segment=other, criteria_tags=("x",), registered_at_ms=0.0)
+        )
+        assert service.remove_crossing_link(((1, 1), (2, 1))) == 1
+        assert service.get(crossing.digest()) is None
+        assert service.get(other.digest()) is not None
+        assert service.remove_crossing_as(3) == 1
+        assert len(service) == 0
+        # Quota was released along the indexed removals.
+        assert service.register(
+            RegisteredPath(segment=crossing, criteria_tags=("x",), registered_at_ms=1.0)
+        )

@@ -27,7 +27,13 @@ from tests.conftest import line_topology
 # the freshly re-registered (previously withdrawn) paths when those account
 # for the whole disruption, not at the next period-boundary probe — the
 # PR 3 sub-period convergence measurement.
-GOLDEN_DIGEST = "1e46e0c3c88ea9e80d2a6dd14ccfbfa5c696738557bafe900cd2e63a3beeed57"
+# PR 4: the post-failure revocation flood became real hop-by-hop messages
+# (repro.core.revocation): `revocations=` in the summary now counts
+# individual transmissions instead of one counter bump per notified AS,
+# and withdrawal happens when each AS *receives* a revocation, which
+# shifts purge timing (and therefore PCB send/drop counts and recovery
+# instants) by the propagation delays of the flood.
+GOLDEN_DIGEST = "5ce362c5870d1b961141d110321bed2360d38f20be418884cfa6aac7ee21ed8d"
 
 
 def run_scenario():

@@ -1,0 +1,314 @@
+"""Tests of the revocation control-plane traffic (PR 4).
+
+The revocation subsystem replaces the old instantaneous counter flood:
+after a failure, the adjacent ASes originate signed, sequence-numbered
+:class:`~repro.core.revocation.RevocationMessage` objects that travel
+hop-by-hop through the simulated transport.  These tests pin the message
+model (signing, dedup, validation), the propagation-ordered withdrawal
+semantics, the interaction with :class:`LinkState` (revocations crossing a
+failed link are lost), and the exactly-once overhead accounting.
+"""
+
+import pytest
+
+from repro.core.control_service import ControlServiceConfig, IrecControlService
+from repro.core.local_view import LocalTopologyView
+from repro.core.revocation import RevocationMessage, RevocationState
+from repro.core.transport import LoopbackTransport
+from repro.crypto.keys import KeyStore
+from repro.crypto.signer import Signer, Verifier
+from repro.exceptions import ConfigurationError
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import don_scenario
+from repro.topology.entities import normalize_link_id
+from repro.units import minutes
+
+from tests.conftest import line_topology
+
+
+def _link(topology, index):
+    return topology.link_ids()[index]
+
+
+def build_loopback_services(topology, key_store, verify_signatures=True):
+    """Wire one IREC control service per AS over a loopback transport."""
+    transport = LoopbackTransport(topology=topology)
+    services = {}
+    for as_info in topology:
+        view = LocalTopologyView.from_topology(topology, as_info.as_id)
+        service = IrecControlService(
+            view=view,
+            key_store=key_store,
+            transport=transport,
+            config=ControlServiceConfig(verify_signatures=verify_signatures),
+        )
+        services[as_info.as_id] = service
+        transport.register(service)
+    return transport, services
+
+
+class TestRevocationMessage:
+    def test_exactly_one_element_required(self):
+        with pytest.raises(ConfigurationError):
+            RevocationMessage(origin_as=1, sequence=1, created_at_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            RevocationMessage(
+                origin_as=1,
+                sequence=1,
+                created_at_ms=0.0,
+                failed_link=((1, 2), (2, 1)),
+                failed_as=3,
+            )
+
+    def test_link_id_is_normalised(self):
+        message = RevocationMessage(
+            origin_as=2,
+            sequence=1,
+            created_at_ms=0.0,
+            failed_link=((2, 1), (1, 2)),
+        )
+        assert message.failed_link == normalize_link_id((1, 2), (2, 1))
+
+    def test_sequence_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RevocationMessage(origin_as=1, sequence=0, created_at_ms=0.0, failed_as=2)
+
+    def test_sign_verify_and_tamper(self, key_store):
+        signer = Signer(as_id=4, key_store=key_store)
+        verifier = Verifier(key_store=key_store)
+        message = RevocationMessage(
+            origin_as=4, sequence=7, created_at_ms=123.0, failed_as=9
+        ).signed(signer)
+        message.verify(verifier)  # must not raise
+        forged = RevocationMessage(
+            origin_as=4,
+            sequence=8,  # different content, reused signature
+            created_at_ms=123.0,
+            failed_as=9,
+            signature=message.signature,
+        )
+        from repro.exceptions import SignatureError
+
+        with pytest.raises(SignatureError):
+            forged.verify(verifier)
+
+    def test_trace_labels_are_stable(self):
+        link_message = RevocationMessage(
+            origin_as=2, sequence=3, created_at_ms=0.0, failed_link=((2, 2), (3, 1))
+        )
+        as_message = RevocationMessage(
+            origin_as=5, sequence=1, created_at_ms=0.0, failed_as=4
+        )
+        assert link_message.trace_label() == "revoke link 2.2-3.1 origin=2 seq=3"
+        assert as_message.trace_label() == "revoke as 4 origin=5 seq=1"
+
+
+class TestRevocationState:
+    def test_dedup_window_prunes_old_keys(self):
+        state = RevocationState(dedup_window_ms=1_000.0)
+        state.mark_seen((1, 1), 0.0)
+        assert state.is_duplicate((1, 1), 500.0)
+        # Past the window the key is forgotten: a replay would re-apply,
+        # which is harmless because withdrawal is idempotent.
+        assert not state.is_duplicate((1, 1), 5_000.0)
+
+    def test_applied_from_filters_by_origin(self):
+        state = RevocationState()
+        state.record_applied((1, 1), 10.0)
+        state.record_applied((2, 1), 20.0)
+        state.record_applied((1, 2), 30.0)
+        assert sorted(state.applied_from(1)) == [10.0, 30.0]
+        # First application wins; replays do not move the timestamp.
+        state.record_applied((1, 1), 99.0)
+        assert sorted(state.applied_from(1)) == [10.0, 30.0]
+
+
+class TestHandlerDedupAndVerification:
+    def test_duplicate_messages_apply_once(self, key_store):
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        origin = services[1]
+        message = RevocationMessage(
+            origin_as=1,
+            sequence=1,
+            created_at_ms=0.0,
+            failed_link=_link(topology, 0),
+        ).signed(origin.builder.signer)
+
+        receiver = services[2]
+        assert receiver.on_revocation(message, on_interface=1, now_ms=5.0) is True
+        assert receiver.on_revocation(message, on_interface=1, now_ms=6.0) is False
+        assert receiver.revocations.received == 2
+        assert receiver.revocations.duplicates == 1
+        # Applied exactly once, at the first delivery.
+        assert receiver.revocations.applied_at[(1, 1)] == 5.0
+        # Forwarded only on first receipt: AS 2's other interface leads to
+        # AS 3, which deduplicates nothing (fresh) and has nowhere to
+        # re-forward, so exactly one onward transmission happened.
+        assert receiver.revocations.forwarded == 1
+
+    def test_invalid_signature_rejected_not_forwarded(self, key_store):
+        topology = line_topology(3)
+        transport, services = build_loopback_services(topology, key_store)
+        message = RevocationMessage(
+            origin_as=1,
+            sequence=1,
+            created_at_ms=0.0,
+            failed_link=_link(topology, 0),
+            signature=b"forged",
+        )
+        receiver = services[2]
+        assert receiver.on_revocation(message, on_interface=1, now_ms=5.0) is False
+        assert receiver.revocations.rejected_invalid == 1
+        assert receiver.revocations.applied_at == {}
+        assert transport.revocations_sent == 0
+        # Not marked seen: an authentic copy arriving later must process.
+        valid = RevocationMessage(
+            origin_as=1,
+            sequence=1,
+            created_at_ms=0.0,
+            failed_link=_link(topology, 0),
+        ).signed(services[1].builder.signer)
+        assert receiver.on_revocation(valid, on_interface=1, now_ms=6.0) is True
+
+    def test_verification_skipped_when_disabled(self, key_store):
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(
+            topology, key_store, verify_signatures=False
+        )
+        unsigned = RevocationMessage(
+            origin_as=1,
+            sequence=1,
+            created_at_ms=0.0,
+            failed_link=_link(topology, 0),
+        )
+        assert services[2].on_revocation(unsigned, on_interface=1, now_ms=5.0) is True
+
+
+class TestPropagationOrderedWithdrawal:
+    def test_withdrawal_times_increase_with_hop_distance(self):
+        """In a line, ASes withdraw strictly later the farther they sit from
+        the failure — the acceptance criterion of the revocation PR."""
+        topology = line_topology(6)
+        scenario = don_scenario(periods=3, verify_signatures=False)
+        failed = _link(topology, 2)  # the 3-4 link
+        scenario.at(minutes(15)).fail_link(failed)
+        simulation = BeaconingSimulation(topology, scenario)
+        result = simulation.run()
+
+        def applied(as_id, origin):
+            times = result.service(as_id).revocations.applied_from(origin)
+            assert len(times) == 1, f"AS {as_id} saw {len(times)} messages from {origin}"
+            return times[0]
+
+        # Left of the failure: origin 3, flooding 3 -> 2 -> 1.
+        assert applied(3, 3) < applied(2, 3) < applied(1, 3)
+        # Right of the failure: origin 4, flooding 4 -> 5 -> 6.
+        assert applied(4, 4) < applied(5, 4) < applied(6, 4)
+        # The origins themselves withdraw at the failure instant.
+        assert applied(3, 3) == minutes(15)
+        assert applied(4, 4) == minutes(15)
+        # No copy ever crossed the failed link: the left side never hears
+        # origin 4 and vice versa.
+        for as_id in (1, 2, 3):
+            assert result.service(as_id).revocations.applied_from(4) == []
+        for as_id in (4, 5, 6):
+            assert result.service(as_id).revocations.applied_from(3) == []
+
+    def test_revocation_crossing_failed_link_is_dropped(self):
+        """A revocation whose carrying link is itself unavailable is lost;
+        ASes behind the second failure never learn of the first."""
+        topology = line_topology(6)
+        scenario = don_scenario(periods=3, verify_signatures=False)
+        near = _link(topology, 1)  # the 2-3 link
+        far = _link(topology, 3)  # the 4-5 link
+        # Same timestamp: both links are down before any flood message moves.
+        scenario.at(minutes(15)).fail_link(near).at(minutes(15)).fail_link(far)
+        simulation = BeaconingSimulation(topology, scenario)
+        result = simulation.run()
+
+        # AS 4's revocation of link 4-5 reaches AS 3 but dies on the failed
+        # 2-3 link when AS 3 re-forwards it (AS 3 does not know 2-3 is down).
+        assert result.collector.revocations_dropped > 0
+        assert result.service(3).revocations.applied_from(4) != []
+        for as_id in (1, 2):
+            assert result.service(as_id).revocations.applied_from(4) == []
+        # Symmetrically, AS 5/6 never hear about the 2-3 failure.
+        for as_id in (5, 6):
+            assert result.service(as_id).revocations.applied_from(3) == []
+
+    def test_withdrawal_is_delayed_until_arrival(self):
+        """State crossing the failed link survives at remote ASes exactly
+        until the revocation reaches them (not purged at event time)."""
+        topology = line_topology(4)
+        scenario = don_scenario(periods=6, verify_signatures=False)
+        failed = _link(topology, 1)  # the 2-3 link
+        fail_at = minutes(25)
+        scenario.at(fail_at).fail_link(failed)
+        simulation = BeaconingSimulation(topology, scenario)
+        result = simulation.run()
+        # AS 4 is one hop from origin 3: per-hop delay is link latency
+        # (10 ms) + processing (1 ms), so withdrawal lands at +11 ms.
+        assert result.service(4).revocations.applied_from(3) == [fail_at + 11.0]
+        # And the databases really are clean afterwards.
+        for service in result.services.values():
+            for stored in service.ingress.database.all_beacons():
+                assert failed not in stored.beacon.links()
+            for path in service.path_service.all_paths():
+                assert failed not in path.segment.links()
+
+
+class TestOverheadAccounting:
+    def test_single_failure_overhead_pinned(self):
+        """Satellite regression: each revocation message counts exactly once.
+
+        In a 5-AS line with the middle-adjacent 2-3 link failing, the flood
+        is exactly three transmissions (2->1, 3->4, 4->5): the origins skip
+        the revoked link itself and the line has no other edges.
+        """
+        topology = line_topology(5)
+        scenario = don_scenario(periods=4, verify_signatures=False)
+        scenario.at(minutes(15)).fail_link(_link(topology, 1))
+        simulation = BeaconingSimulation(topology, scenario)
+        result = simulation.run()
+        collector = result.collector
+        assert collector.total_revocations == 3
+        assert collector.revocations_dropped == 0
+        # Exactly-once: revocation transmissions are disjoint from PCB
+        # sends and pull returns in the overall message count.
+        assert (
+            collector.control_messages_total()
+            == collector.total_sent + collector.returned_beacons() + 3
+        )
+        # They are binned into the period the failure fired in.
+        assert collector.revocations_in_period(1) == 3
+
+    def test_revocation_send_does_not_touch_pcb_counters(self):
+        from repro.simulation.collector import MetricsCollector
+
+        collector = MetricsCollector()
+        collector.record_revocation(1, 2, 0.0)
+        assert collector.total_revocations == 1
+        assert collector.total_sent == 0
+        assert collector.pcbs_per_interface_per_period() == []
+        assert collector.control_messages_total() == 1
+
+
+class TestLegacyParticipation:
+    def test_legacy_as_forwards_and_withdraws(self):
+        """Legacy SCION ASes join the flood: they withdraw on arrival and
+        re-forward, so a mixed deployment still converges."""
+        topology = line_topology(4)
+        scenario = don_scenario(periods=5, verify_signatures=False)
+        scenario.legacy_ases = (3,)
+        failed = _link(topology, 0)  # the 1-2 link
+        scenario.at(minutes(25)).fail_link(failed)
+        simulation = BeaconingSimulation(topology, scenario)
+        result = simulation.run()
+        legacy = result.service(3)
+        # The legacy AS received origin 2's message and passed it on to AS 4.
+        assert legacy.revocations.applied_from(2) != []
+        assert legacy.revocations.forwarded == 1
+        assert result.service(4).revocations.applied_from(2) != []
+        for path in legacy.path_service.all_paths():
+            assert failed not in path.segment.links()

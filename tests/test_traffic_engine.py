@@ -33,7 +33,10 @@ from tests.test_examples import load_example
 #: Pinned digest of the example scenario's traffic trace (see
 #: ``examples/traffic_failover.py``); update it when engine behaviour
 #: changes intentionally, like the control-plane golden trace.
-EXAMPLE_TRACE_DIGEST = "6e65eb486c8450fc17e65ac405944db0ed96e1173bd9848f9948acc2d9b4f041"
+#: PR 4: flow groups break on revocation *arrival* at their source AS
+#: (cause = the revocation's trace label, timestamps propagation-ordered)
+#: instead of instantly at the failure event, so every break line changed.
+EXAMPLE_TRACE_DIGEST = "4e124d7c6c3105170f8c2c9fcec9c537dd4b77bf3e7cb2ede403ff0aba2d0914"
 
 
 # ----------------------------------------------------------------------
@@ -402,11 +405,17 @@ class TestTrafficEngineCoupled:
     def test_failure_breaks_and_reroutes_flows(self, coupled_run):
         _simulation, engine = coupled_run
         collector = engine.collector
+        fail_ms = 2.5 * minutes(10)
         assert engine.rounds_run == 25
         assert collector.reroutes, "cutting an AS off must break flow groups"
         for record in collector.reroutes:
-            assert record.broken_at_ms == pytest.approx(2.5 * minutes(10))
-            assert record.cause.startswith("fail_link")
+            # PR 4: groups break when the revocation *message* withdraws
+            # their paths at the source AS — at the failure instant for
+            # sources adjacent to the failed link, a few propagation hops
+            # later for everyone else — never before the failure and well
+            # within the same period.
+            assert fail_ms <= record.broken_at_ms < fail_ms + minutes(1)
+            assert record.cause.startswith("revoke link")
         # Groups towards the cut-off stub stay black-holed (no recovery
         # was scheduled); their demand shows up as unserved.
         assert collector.open_blackholes()
@@ -450,3 +459,53 @@ class TestExampleScenarioDigest:
         assert collector.mean_time_to_reroute_ms() is not None
         failure_ms = min(t.time_ms for t in simulation.scenario.timeline)
         assert collector.goodput_recovery_ms(failure_ms) is not None
+
+
+# ----------------------------------------------------------------------
+# goodput recovery on oscillating traces (PR 4 satellite)
+# ----------------------------------------------------------------------
+def _trace(collector_samples):
+    from repro.traffic.collector import RoundSample, TrafficCollector
+
+    collector = TrafficCollector()
+    for time_ms, carried in collector_samples:
+        collector.on_round(
+            RoundSample(
+                time_ms=time_ms,
+                offered_mbps=100.0,
+                carried_mbps=carried,
+                unserved_mbps=0.0,
+                active_groups=1,
+                blackholed_groups=0,
+                flow_rounds=1,
+                max_link_utilization=0.5,
+            )
+        )
+    return collector
+
+
+class TestGoodputRecovery:
+    def test_oscillating_recovery_dates_after_last_dip(self):
+        # Goodput dips, pops back in band for one sample, dips again, and
+        # only then recovers for good.  The first in-band sample at t=300
+        # is a transient: recovery must be dated at t=500, after the last
+        # dip — the pre-fix code returned 300 - 100 = 200 here.
+        collector = _trace(
+            [(0.0, 100.0), (100.0, 50.0), (200.0, 60.0), (300.0, 100.0),
+             (400.0, 55.0), (500.0, 99.5), (600.0, 100.0)]
+        )
+        assert collector.goodput_recovery_ms(50.0, tolerance=0.01) == 450.0
+
+    def test_monotone_recovery_unchanged(self):
+        collector = _trace(
+            [(0.0, 100.0), (100.0, 50.0), (200.0, 100.0), (300.0, 100.0)]
+        )
+        assert collector.goodput_recovery_ms(50.0, tolerance=0.01) == 150.0
+
+    def test_trace_ending_in_a_dip_is_unrecovered(self):
+        collector = _trace([(0.0, 100.0), (100.0, 50.0), (200.0, 100.0), (300.0, 40.0)])
+        assert collector.goodput_recovery_ms(50.0, tolerance=0.01) is None
+
+    def test_no_dip_returns_none(self):
+        collector = _trace([(0.0, 100.0), (100.0, 100.0), (200.0, 100.0)])
+        assert collector.goodput_recovery_ms(50.0) is None
