@@ -1,0 +1,53 @@
+"""Message-fabric benchmark — the unified typed-message transport.
+
+Since PR 5 every inter-AS control-plane interaction is one typed
+:class:`~repro.core.messages.ControlMessage` routed through a single
+transport path with per-AS inboxes drained in batches per scheduler tick.
+This benchmark runs the canonical mixed workload
+(``run_benchmarks.run_message_fabric``) at the conftest scale: after one
+warm-up beaconing period, every AS offers registered paths to its
+neighbours as path-registration traffic and a batch of link failures
+triggers revocation floods; the headline number is fabric messages
+processed per wall-clock second, reported for both the default batched
+drain and the per-message (``batch_size=1``) reference mode.
+
+Like the other paper-scale simulations this is excluded from tier-1; run
+it with ``-m slow`` (``IREC_BENCH_SCALE`` selects the topology size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generator import generate_topology
+
+from conftest import bench_topology_config
+from run_benchmarks import run_message_fabric
+
+#: Full multi-period simulations; excluded from the default tier-1 run.
+pytestmark = pytest.mark.slow
+
+
+def test_message_fabric_report(capsys):
+    """Run the mixed fabric workload in both drain modes and report."""
+    batched = run_message_fabric(
+        generate_topology(bench_topology_config()), inbox_batch_size=None
+    )
+    per_message = run_message_fabric(
+        generate_topology(bench_topology_config()), inbox_batch_size=1
+    )
+    with capsys.disabled():
+        print(
+            f"\nMessage fabric — {batched['ases']} ASes, "
+            f"{batched['registrations']} registrations + "
+            f"{batched['revocations']} revocations:"
+            f" batched {batched['messages_per_s']:,.0f} msg/s,"
+            f" per-message {per_message['messages_per_s']:,.0f} msg/s"
+        )
+    # Both modes processed the same workload...
+    assert batched["messages"] == per_message["messages"]
+    assert batched["messages"] > 0
+    assert batched["registrations"] > 0
+    assert batched["revocations"] > batched["failures"]
+    # ...and the fabric sustains a meaningful rate even at small scale.
+    assert batched["messages_per_s"] > 10_000

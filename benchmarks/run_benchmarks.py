@@ -38,7 +38,14 @@ Stages
                               capacity-aware link model, reporting
                               flow-rounds/s and — in a scenario-coupled
                               second run — goodput recovery after a stub AS
-                              is cut off (added in PR 3).
+                              is cut off (added in PR 3),
+* ``message_fabric``        — the unified message fabric: a mixed workload
+                              of path-registration messages and revocation
+                              floods driven through the typed transport,
+                              drained once with batched per-AS inboxes
+                              (the default) and once in per-message mode
+                              (``batch_size=1``); reports messages/s for
+                              both plus the batch speedup (added in PR 5).
 
 ``--fail-on-regression PCT`` (used by CI together with ``--baseline``)
 exits non-zero when any stage's throughput drops by more than PCT percent
@@ -283,23 +290,30 @@ def stage_dynamic_convergence(scale: str, periods: int) -> dict:
     }
 
 
-def run_revocation_flood(topology, failure_count: int = 60, drain_ms: float = 60_000.0) -> dict:
+def run_revocation_flood(
+    topology,
+    failure_count: int = 60,
+    drain_ms: float = 60_000.0,
+    inbox_batch_size=None,
+) -> dict:
     """Warm up one beaconing period, then flood revocations for sampled links.
 
     The canonical revocation workload, shared by the ``revocation`` stage
     and ``benchmarks/bench_revocation.py`` (which passes a conftest-scaled
     topology).  Only the flood phase is timed — the measured quantity is
     the revocation subsystem (origination, hop-by-hop forwarding, dedup,
-    indexed withdrawal), not the warm-up beaconing.
+    indexed withdrawal), not the warm-up beaconing.  ``inbox_batch_size``
+    selects the fabric's drain mode (``None``: batched, ``1``:
+    per-message).
     """
     import gc
     import random
 
     from repro.simulation.beaconing import BeaconingSimulation
 
-    simulation = BeaconingSimulation(
-        topology, don_scenario(periods=1, verify_signatures=False)
-    )
+    scenario = don_scenario(periods=1, verify_signatures=False)
+    scenario.inbox_batch_size = inbox_batch_size
+    simulation = BeaconingSimulation(topology, scenario)
     simulation.run()  # warm-up: populate the per-AS databases
 
     rng = random.Random(5)
@@ -360,6 +374,114 @@ def stage_revocation(scale: str) -> dict:
     report = run_revocation_flood(topology)
     report["crypto_ops"] = perf_counters()
     return report
+
+
+def run_message_fabric(
+    topology,
+    inbox_batch_size=None,
+    failure_count: int = 40,
+    registrations_per_as: int = 20,
+    drain_ms: float = 60_000.0,
+) -> dict:
+    """Drive a mixed typed-message workload through the unified fabric.
+
+    After one warm-up beaconing period populates the per-AS databases,
+    every AS offers a slice of its registered paths to each neighbour as
+    :class:`~repro.core.messages.PathRegistrationMessage` traffic, and a
+    batch of link failures triggers hop-by-hop revocation floods — all
+    through the one ``send_message`` path, landing in per-AS inboxes
+    drained per scheduler tick.  Only the injection + drain phase is
+    timed; the headline number is fabric messages (registrations +
+    revocations) processed per wall-clock second.
+    """
+    import gc
+    import random
+
+    from repro.simulation.beaconing import BeaconingSimulation
+
+    scenario = don_scenario(periods=1, verify_signatures=False)
+    scenario.inbox_batch_size = inbox_batch_size
+    simulation = BeaconingSimulation(topology, scenario)
+    simulation.run()  # warm-up: populate the per-AS databases
+
+    rng = random.Random(11)
+    pool = list(topology.link_ids())
+    chosen = rng.sample(pool, k=min(failure_count, max(1, len(pool) // 4)))
+    collector = simulation.collector
+    scheduler = simulation.scheduler
+    revocations_before = collector.total_revocations
+    registrations_before = collector.total_registrations
+
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        # Path-registration traffic: each AS offers its best known paths
+        # to every neighbour (the gossip a distributed path layer pays).
+        for as_id in sorted(simulation.services):
+            service = simulation.services[as_id]
+            sender = getattr(service, "send_path_registration", None)
+            if sender is None:
+                continue
+            paths = service.path_service.all_paths()[:registrations_per_as]
+            for interface_id in service.view.interface_ids():
+                for path in paths:
+                    sender(interface_id, path, now_ms=scheduler.now_ms)
+        # Revocation floods for a batch of simultaneous link failures.
+        for link_id in chosen:
+            simulation.link_state.fail_link(link_id)
+            (as_a, _), (as_b, _) = link_id
+            for as_id in sorted({as_a, as_b}):
+                if simulation.link_state.is_as_up(as_id):
+                    simulation.services[as_id].originate_revocation(
+                        now_ms=scheduler.now_ms, failed_link=link_id
+                    )
+        scheduler.run_until(scheduler.now_ms + drain_ms)
+        wall_s = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+
+    revocations = collector.total_revocations - revocations_before
+    registrations = collector.total_registrations - registrations_before
+    messages = revocations + registrations
+    return {
+        "wall_s": wall_s,
+        "messages": messages,
+        "revocations": revocations,
+        "registrations": registrations,
+        "messages_per_s": messages / wall_s if wall_s > 0 else 0.0,
+        "messages_dropped": collector.revocations_dropped + collector.registrations_dropped,
+        "failures": len(chosen),
+        "ases": topology.num_ases,
+        "inbox_batch_size": inbox_batch_size,
+    }
+
+
+def stage_message_fabric(scale: str) -> dict:
+    """Unified-fabric throughput: batched drains vs per-message delivery."""
+    reset_perf_counters()
+    batched = run_message_fabric(
+        generate_topology(scale_topology_config(scale)), inbox_batch_size=None
+    )
+    per_message = run_message_fabric(
+        generate_topology(scale_topology_config(scale)), inbox_batch_size=1
+    )
+    speedup = (
+        batched["messages_per_s"] / per_message["messages_per_s"]
+        if per_message["messages_per_s"] > 0
+        else 0.0
+    )
+    return {
+        # The headline (regression-gated) numbers are the batched mode's —
+        # batching is the fabric's default.
+        "wall_s": batched["wall_s"],
+        "messages_per_s": batched["messages_per_s"],
+        "messages": batched["messages"],
+        "batched": batched,
+        "per_message": per_message,
+        "batch_speedup": speedup,
+        "crypto_ops": perf_counters(),
+    }
 
 
 def stage_traffic(scale: str) -> dict:
@@ -516,14 +638,42 @@ def find_regressions(comparison: dict, tolerance: float) -> list:
     return regressions
 
 
+def git_revision() -> dict:
+    """Return the repo's current git SHA (and dirtiness), best-effort.
+
+    Stamped into the report's ``meta`` so cross-PR comparisons can tell
+    exactly which tree produced a baseline; any git failure (no repo, no
+    binary) degrades to ``None`` rather than failing the run.
+    """
+    import subprocess
+
+    repo_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return {"git_sha": None}
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return {"git_sha": sha.stdout.strip(), "git_dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return {"git_sha": None}
+
+
 def run_all(scale: str, periods: int) -> dict:
     report = {
         "meta": {
-            "harness": "run_benchmarks.py v1 (PR 1)",
+            "harness": "run_benchmarks.py v2 (PR 5)",
             "scale": scale,
             "periods": periods,
             "python": platform.python_version(),
             "unix_time": time.time(),
+            **git_revision(),
         },
         "stages": {},
     }
@@ -534,6 +684,7 @@ def run_all(scale: str, periods: int) -> dict:
         ("beaconing_e2e", lambda: stage_beaconing_e2e(scale, periods)),
         ("dynamic_convergence", lambda: stage_dynamic_convergence(scale, periods)),
         ("revocation", lambda: stage_revocation(scale)),
+        ("message_fabric", lambda: stage_message_fabric(scale)),
         ("traffic", lambda: stage_traffic(scale)),
     )
     for name, stage in stages:

@@ -29,6 +29,12 @@ from repro.core.extensions import (
     InterfaceGroupExtension,
     TargetExtension,
 )
+from repro.core.messages import (
+    ControlMessage,
+    MessageEnvelope,
+    PCBMessage,
+    PathRegistrationMessage,
+)
 from repro.core.revocation import RevocationMessage, RevocationState
 from repro.core.staticinfo import StaticInfo
 
@@ -37,10 +43,14 @@ __all__ = [
     "AlgorithmExtension",
     "Beacon",
     "BeaconBuilder",
+    "ControlMessage",
     "CriteriaSet",
     "Criterion",
     "InterfaceGroupExtension",
+    "MessageEnvelope",
     "Objective",
+    "PCBMessage",
+    "PathRegistrationMessage",
     "RevocationMessage",
     "RevocationState",
     "StandardMetrics",

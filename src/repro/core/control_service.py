@@ -14,13 +14,19 @@ possible.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import RoutingAlgorithm
 from repro.core.algorithm_registry import AlgorithmFetcher, AlgorithmRepository
 from repro.core.beacon import Beacon, BeaconBuilder, DEFAULT_VALIDITY_MS
-from repro.core.databases import EgressDatabase, IngressDatabase, PathService
+from repro.core.databases import (
+    EgressDatabase,
+    IngressDatabase,
+    PathService,
+    RegisteredPath,
+)
 from repro.core.egress import EgressGateway
 from repro.core.extensions import ExtensionSet
 from repro.core.ingress import IngressGateway
@@ -30,6 +36,11 @@ from repro.core.interface_groups import (
     SingleGroupPolicy,
 )
 from repro.core.local_view import LocalTopologyView
+from repro.core.messages import (
+    ControlMessage,
+    PathRegistrationMessage,
+    PCBMessage,
+)
 from repro.core.ondemand import OnDemandAlgorithmManager
 from repro.core.rac import (
     RACConfig,
@@ -47,7 +58,7 @@ from repro.core.revocation import (
 from repro.core.transport import ControlPlaneTransport
 from repro.crypto.keys import KeyStore
 from repro.crypto.signer import Signer, Verifier
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.topology.entities import LinkID, normalize_link_id
 
 
@@ -108,6 +119,98 @@ def purge_as_state(ingress_database, path_service, gone_as: int) -> Tuple[int, i
     ingress_removed = ingress_database.remove_crossing_as(gone_as)
     paths_removed = path_service.remove_crossing_as(gone_as)
     return ingress_removed, paths_removed
+
+
+# ----------------------------------------------------------------------
+# unified message dispatch (shared by the IREC and legacy services)
+# ----------------------------------------------------------------------
+def handle_path_registration(
+    service, message: PathRegistrationMessage, now_ms: float
+) -> bool:
+    """Register a remotely offered path at ``service``'s path service.
+
+    The registration is re-stamped with the *arrival* time: a path that
+    reaches this AS now is fresh now, which is the timestamp contract the
+    convergence collector's sub-period recovery detection relies on.
+    Expired segments are dropped (the offer outlived its path).
+    """
+    path = message.path
+    if path.segment.is_expired(now_ms):
+        return False
+    return service.path_service.register(
+        RegisteredPath(
+            segment=path.segment,
+            criteria_tags=path.criteria_tags,
+            registered_at_ms=now_ms,
+        )
+    )
+
+
+def dispatch_message(service, message: ControlMessage, on_interface: int, now_ms: float):
+    """Dispatch one typed control message to ``service``'s handler.
+
+    The single entry point the transport fabric invokes for every
+    delivered message, replacing the per-type ``receive_beacon`` /
+    ``on_revocation`` transport forks.  Duck-typed over both control
+    service flavours.
+    """
+    if isinstance(message, PCBMessage):
+        return service.receive_beacon(
+            message.beacon, on_interface=on_interface, now_ms=now_ms
+        )
+    if isinstance(message, RevocationMessage):
+        return service.on_revocation(message, on_interface=on_interface, now_ms=now_ms)
+    if isinstance(message, PathRegistrationMessage):
+        return handle_path_registration(service, message, now_ms)
+    raise SimulationError(f"unsupported control message {message!r}")
+
+
+def dispatch_batch(service, entries: Sequence[Tuple[ControlMessage, int]], now_ms: float):
+    """Dispatch one drained inbox batch in arrival order.
+
+    Messages are processed exactly as per-message dispatch would — same
+    order, same ``now_ms`` (every entry of a batch arrived at the same
+    scheduler tick) — so database state and withdrawal timestamps are
+    identical to ``batch_size=1`` delivery.  The batch enables one
+    amortization per-message delivery cannot see: several copies of the
+    *same* beacon arriving together (parallel links, simultaneous
+    neighbours) pay one admission — signature-chain probe included — and
+    the remaining copies take the duplicate fast path, since an identical
+    digest means a byte-identical beacon whose admission verdict cannot
+    differ and whose database insert would be refused as a duplicate
+    anyway.
+
+    Returns:
+        Per-entry handler results, in entry order.
+    """
+    results = []
+    append = results.append
+    accepted_digests = None
+    # Kind strings instead of isinstance checks: this loop is the flood
+    # fast path (one call per delivered message network-wide).
+    for message, on_interface in entries:
+        kind = message.kind
+        if kind == "revocation":
+            append(service.on_revocation(message, on_interface=on_interface, now_ms=now_ms))
+        elif kind == "pcb":
+            digest = message.beacon.digest()
+            if accepted_digests is not None and digest in accepted_digests:
+                stats = service.ingress.stats
+                stats.received += 1
+                stats.duplicates += 1
+                append(False)
+                continue
+            accepted = service.receive_beacon(
+                message.beacon, on_interface=on_interface, now_ms=now_ms
+            )
+            if accepted:
+                if accepted_digests is None:
+                    accepted_digests = set()
+                accepted_digests.add(digest)
+            append(accepted)
+        else:
+            append(dispatch_message(service, message, on_interface, now_ms))
+    return results
 
 
 @dataclass
@@ -171,6 +274,10 @@ class IrecControlService:
         self.revocations = RevocationState(
             dedup_window_ms=self.config.revocation_dedup_window_ms
         )
+        #: Envelope sequence numbers of non-revocation messages this
+        #: service originates (revocations keep their own counter: their
+        #: (origin, sequence) pairs are the flood's dedup identity).
+        self._message_sequence = itertools.count(1)
         #: Optional ``(message, removed_counts, now_ms)`` callback invoked
         #: after a revocation withdrew local state; the beaconing driver
         #: fans it out to its revocation listeners (e.g. the traffic
@@ -302,15 +409,29 @@ class IrecControlService:
         now_ms: float,
         failed_link: Optional[LinkID] = None,
         failed_as: Optional[int] = None,
+        failed_links: Sequence[LinkID] = (),
+        failed_ases: Sequence[int] = (),
+        ttl_ms: Optional[float] = None,
+        max_hops: Optional[int] = None,
     ) -> RevocationMessage:
         """Originate, apply and flood a signed revocation for a local failure.
 
         Called (by the beaconing driver) on the ASes adjacent to a failed
         element; the message then propagates hop-by-hop via
-        :meth:`on_revocation` at every other AS.
+        :meth:`on_revocation` at every other AS.  Several simultaneously
+        failed elements batch into one message via ``failed_links`` /
+        ``failed_ases``; ``ttl_ms`` and ``max_hops`` bound the message's
+        lifetime and propagation radius.
         """
         return _originate_revocation(
-            self, now_ms, failed_link=failed_link, failed_as=failed_as
+            self,
+            now_ms,
+            failed_link=failed_link,
+            failed_as=failed_as,
+            failed_links=tuple(failed_links),
+            failed_ases=tuple(failed_ases),
+            ttl_ms=ttl_ms,
+            max_hops=max_hops,
         )
 
     def on_revocation(
@@ -328,6 +449,35 @@ class IrecControlService:
     # ------------------------------------------------------------------
     # transport-facing handlers
     # ------------------------------------------------------------------
+    def on_message(self, message: ControlMessage, on_interface: int, now_ms: float):
+        """Handle one typed control message — the unified fabric entry point."""
+        return dispatch_message(self, message, on_interface, now_ms)
+
+    def on_message_batch(
+        self, entries: Sequence[Tuple[ControlMessage, int]], now_ms: float
+    ):
+        """Handle one drained inbox batch (see :func:`dispatch_batch`)."""
+        return dispatch_batch(self, entries, now_ms)
+
+    def send_path_registration(
+        self, egress_interface: int, path: RegisteredPath, now_ms: float
+    ) -> PathRegistrationMessage:
+        """Offer ``path`` to the neighbouring AS's path service.
+
+        Builds a :class:`PathRegistrationMessage` on the shared envelope
+        and sends it through the fabric: the offer pays per-hop latency,
+        can be lost on a failed link and is counted like every other
+        control message.
+        """
+        message = PathRegistrationMessage(
+            origin_as=self.as_id,
+            sequence=next(self._message_sequence),
+            created_at_ms=now_ms,
+            path=path,
+        )
+        self.transport.send_message(self.as_id, egress_interface, message)
+        return message
+
     def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
         """Handle a PCB delivered by a neighbouring AS."""
         return self.ingress.receive(beacon, on_interface=on_interface, now_ms=now_ms)

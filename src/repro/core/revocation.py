@@ -9,7 +9,8 @@ the quantity the measurement literature on routing events actually studies
 
 A :class:`RevocationMessage` is a first-class control-plane message:
 
-* it names one failed element (an inter-domain link or a departed AS),
+* it names one or more failed elements (inter-domain links and/or
+  departed ASes),
 * it is originated by an AS adjacent to the failure, carries a per-origin
   **sequence number**, and is **signed** by its origin exactly like a
   beacon entry (receivers verify when signature checking is enabled),
@@ -33,18 +34,32 @@ duck-typed control service (anything exposing ``as_id``, ``view``,
 ``ingress.verify_signatures``, ``invalidate_link``, ``invalidate_as`` and
 an optional ``on_withdrawal`` callback), so the IREC and the legacy SCION
 control service share one implementation.
+
+Since the unified message fabric (:mod:`repro.core.messages`) the
+:class:`RevocationMessage` class itself lives there — a revocation is one
+typed control message among others, sharing the common envelope — and
+gained batching (several failed elements in one message), TTL and scope
+limiting.  This module keeps the per-service state and handler logic and
+re-exports the message class for backward compatibility.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.beacon import _memo
-from repro.crypto.signer import Signer, Verifier
-from repro.exceptions import ConfigurationError, SignatureError
-from repro.topology.entities import LinkID, normalize_link_id
+from repro.core.messages import RevocationMessage
+from repro.exceptions import SignatureError
+from repro.topology.entities import LinkID
+
+__all__ = [
+    "DEFAULT_DEDUP_WINDOW_MS",
+    "RevocationMessage",
+    "RevocationState",
+    "handle_revocation",
+    "originate_revocation",
+]
 
 #: Default dedup window: how long a control service remembers a revocation
 #: it has already processed.  One simulated hour comfortably covers any
@@ -52,85 +67,6 @@ from repro.topology.entities import LinkID, normalize_link_id
 #: memory of long simulations; a replay arriving after the window is
 #: re-applied, which is harmless because withdrawal is idempotent.
 DEFAULT_DEDUP_WINDOW_MS = 60.0 * 60.0 * 1000.0
-
-
-def _format_link(link_id: LinkID) -> str:
-    (as_a, if_a), (as_b, if_b) = link_id
-    return f"{as_a}.{if_a}-{as_b}.{if_b}"
-
-
-@dataclass(frozen=True)
-class RevocationMessage:
-    """One signed, sequence-numbered revocation of a failed network element.
-
-    Attributes:
-        origin_as: AS that detected the failure and originated the message
-            (an endpoint of the failed link, or a neighbour of the departed
-            AS).
-        sequence: Per-origin monotonic sequence number; ``(origin_as,
-            sequence)`` is the message's network-wide dedup identity.
-        created_at_ms: Simulated origination time.
-        failed_link: The revoked inter-domain link (normalised), or
-            ``None`` for an AS revocation.
-        failed_as: The departed AS, or ``None`` for a link revocation.
-        signature: Signature of ``origin_as`` over the canonical encoding.
-    """
-
-    origin_as: int
-    sequence: int
-    created_at_ms: float
-    failed_link: Optional[LinkID] = None
-    failed_as: Optional[int] = None
-    signature: bytes = b""
-
-    def __post_init__(self) -> None:
-        if (self.failed_link is None) == (self.failed_as is None):
-            raise ConfigurationError(
-                "a revocation names exactly one failed element (link or AS)"
-            )
-        if self.failed_link is not None:
-            object.__setattr__(self, "failed_link", normalize_link_id(*self.failed_link))
-        if self.sequence < 1:
-            raise ConfigurationError(f"sequence must be positive, got {self.sequence}")
-
-    @property
-    def key(self) -> Tuple[int, int]:
-        """Return the network-wide dedup identity ``(origin_as, sequence)``."""
-        return (self.origin_as, self.sequence)
-
-    def encode_unsigned(self) -> str:
-        """Return the canonical encoding without the signature (memoized)."""
-
-        def compute() -> str:
-            if self.failed_link is not None:
-                element = f"link={_format_link(self.failed_link)}"
-            else:
-                element = f"as={self.failed_as}"
-            return (
-                f"revocation(origin={self.origin_as},seq={self.sequence},"
-                f"created={self.created_at_ms:.3f},{element})"
-            )
-
-        return _memo(self, "_encoded_unsigned", compute)
-
-    def signed(self, signer: Signer) -> "RevocationMessage":
-        """Return a copy carrying ``signer``'s signature over the encoding."""
-        signature = signer.sign(self.encode_unsigned().encode("utf-8"))
-        return replace(self, signature=signature)
-
-    def verify(self, verifier: Verifier) -> None:
-        """Raise :class:`SignatureError` unless the origin's signature is valid."""
-        verifier.verify(
-            self.origin_as, self.encode_unsigned().encode("utf-8"), self.signature
-        )
-
-    def trace_label(self) -> str:
-        """Return the stable one-line trace representation of the message."""
-        if self.failed_link is not None:
-            element = f"link {_format_link(self.failed_link)}"
-        else:
-            element = f"as {self.failed_as}"
-        return f"revoke {element} origin={self.origin_as} seq={self.sequence}"
 
 
 @dataclass
@@ -158,6 +94,8 @@ class RevocationState:
     originated: int = 0
     forwarded: int = 0
     rejected_invalid: int = 0
+    #: Copies dropped because they exceeded their TTL (stale withdrawals).
+    rejected_stale: int = 0
 
     def next_sequence(self) -> int:
         """Return the next origination sequence number of this service."""
@@ -206,28 +144,23 @@ class RevocationState:
             del self._seen[key]
 
 
-def _interface_revoked(view, interface_id: int, message: RevocationMessage) -> bool:
-    """Return whether a local interface leads into the revoked element.
-
-    A service never transmits a revocation into the element it revokes: an
-    endpoint of the failed link knows that port is dead, and a neighbour of
-    a departed AS knows the AS is gone.  Other unavailable links are *not*
-    locally known — sends over them are attempted and dropped in flight by
-    the transport, which is exactly the "revocations crossing a failed link
-    are lost" semantics.
-    """
-    link = view.link_of(interface_id)
-    if message.failed_link is not None:
-        return link.key == message.failed_link
-    return view.neighbor_of(interface_id)[0] == message.failed_as
-
-
 def _apply(service, message: RevocationMessage, now_ms: float) -> Tuple[int, int]:
-    """Withdraw the revoked element's state locally; notify the listener."""
-    if message.failed_link is not None:
-        removed = service.invalidate_link(message.failed_link)
-    else:
-        removed = service.invalidate_as(message.failed_as)
+    """Withdraw every revoked element's state locally; notify the listener.
+
+    A batched message withdraws all of its elements in one pass; the
+    returned counts (and the listener notification) cover the union.
+    """
+    ingress_removed = 0
+    paths_removed = 0
+    for link in message.failed_links:
+        link_ingress, link_paths = service.invalidate_link(link)
+        ingress_removed += link_ingress
+        paths_removed += link_paths
+    for gone_as in message.failed_ases:
+        as_ingress, as_paths = service.invalidate_as(gone_as)
+        ingress_removed += as_ingress
+        paths_removed += as_paths
+    removed = (ingress_removed, paths_removed)
     service.revocations.record_applied(message.key, now_ms)
     callback = getattr(service, "on_withdrawal", None)
     if callback is not None:
@@ -238,14 +171,31 @@ def _apply(service, message: RevocationMessage, now_ms: float) -> Tuple[int, int
 def _forward(
     service, message: RevocationMessage, arrival_interface: Optional[int]
 ) -> int:
-    """Re-send ``message`` on every eligible interface; return the count."""
+    """Re-send ``message`` on every eligible interface; return the count.
+
+    A service never transmits a revocation into an element it revokes: an
+    endpoint of a failed link knows that port is dead, and a neighbour of
+    a departed AS knows the AS is gone.  Other unavailable links are *not*
+    locally known — sends over them are attempted and dropped in flight by
+    the transport, which is exactly the "revocations crossing a failed
+    link are lost" semantics.  The element sets and transport entry point
+    are hoisted out of the per-interface loop: forwarding runs once per
+    fresh message at every AS, making this the flood's hottest loop.
+    """
     sent = 0
-    for interface_id in service.view.interface_ids():
+    view = service.view
+    failed_links = message.failed_link_set
+    failed_ases = message.failed_as_set
+    send = service.transport.send_message
+    as_id = service.as_id
+    for interface_id in view.interface_ids():
         if interface_id == arrival_interface:
             continue
-        if _interface_revoked(service.view, interface_id, message):
+        if view.link_of(interface_id).key in failed_links:
             continue
-        service.transport.send_revocation(service.as_id, interface_id, message)
+        if failed_ases and view.neighbor_of(interface_id)[0] in failed_ases:
+            continue
+        send(as_id, interface_id, message)
         sent += 1
     service.revocations.forwarded += sent
     return sent
@@ -256,6 +206,10 @@ def originate_revocation(
     now_ms: float,
     failed_link: Optional[LinkID] = None,
     failed_as: Optional[int] = None,
+    failed_links: Tuple[LinkID, ...] = (),
+    failed_ases: Tuple[int, ...] = (),
+    ttl_ms: Optional[float] = None,
+    max_hops: Optional[int] = None,
 ) -> RevocationMessage:
     """Originate, locally apply and flood one revocation from ``service``.
 
@@ -263,6 +217,11 @@ def originate_revocation(
     endpoints of a failed link; the neighbours of a departed AS).  The
     origin withdraws its own state immediately — it detected the failure —
     and the message starts its hop-by-hop journey to everyone else.
+
+    Several simultaneously failed elements batch into one message via
+    ``failed_links`` / ``failed_ases`` (one flood instead of one per
+    element); ``ttl_ms`` and ``max_hops`` bound the message's lifetime and
+    propagation radius (see :class:`RevocationMessage`).
     """
     state: RevocationState = service.revocations
     message = RevocationMessage(
@@ -271,6 +230,10 @@ def originate_revocation(
         created_at_ms=now_ms,
         failed_link=failed_link,
         failed_as=failed_as,
+        failed_links=tuple(failed_links),
+        failed_ases=tuple(failed_ases),
+        ttl_ms=ttl_ms,
+        max_hops=max_hops,
     ).signed(service.builder.signer)
     state.originated += 1
     # Mark the own message seen so a copy reflected back over a cycle is a
@@ -287,11 +250,21 @@ def handle_revocation(
     """Process one delivered revocation at ``service``.
 
     Returns ``True`` when the message was fresh and applied (and therefore
-    re-forwarded); ``False`` for duplicates and invalid signatures.
+    re-forwarded, unless its scope is exhausted); ``False`` for duplicates,
+    stale (TTL-expired) copies and invalid signatures.
     """
     state: RevocationState = service.revocations
     state.received += 1
-    if state.is_duplicate(message.key, now_ms):
+    # TTL and scope are enforced here and only here (inlined rather than
+    # message methods: this handler runs once per delivered copy
+    # network-wide and method dispatch measurably costs flood throughput).
+    if message.ttl_ms is not None and now_ms - message.created_at_ms > message.ttl_ms:
+        # Not marked seen: staleness is a property of this copy's arrival
+        # time, and dropping it must not shadow an earlier in-TTL copy.
+        state.rejected_stale += 1
+        return False
+    key = message.key
+    if state.is_duplicate(key, now_ms):
         state.duplicates += 1
         return False
     if service.ingress.verify_signatures:
@@ -301,7 +274,8 @@ def handle_revocation(
             # Not marked seen: a later authentic copy must still process.
             state.rejected_invalid += 1
             return False
-    state.mark_seen(message.key, now_ms)
+    state.mark_seen(key, now_ms)
     _apply(service, message, now_ms)
-    _forward(service, message, arrival_interface=on_interface)
+    if message.max_hops is None or len(message.hop_path) < message.max_hops:
+        _forward(service, message, arrival_interface=on_interface)
     return True

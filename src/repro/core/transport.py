@@ -1,30 +1,46 @@
 """Control-plane transport abstraction.
 
-Control services need four inter-AS interactions: sending a PCB to a
-neighbouring AS over a specific egress interface, returning a pull-based
-PCB to its origin AS, fetching an on-demand algorithm payload from its
-origin AS, and forwarding a revocation message to a neighbouring AS.  The
-transport is abstracted behind a small protocol so that
+Control services interact across AS boundaries through one typed message
+fabric (:mod:`repro.core.messages`): PCBs, revocations and path
+registrations are all :class:`~repro.core.messages.ControlMessage`\\ s sent
+over a specific egress interface via :meth:`send_message`.  Two legacy
+conveniences remain on the protocol — returning a pull-based PCB to its
+origin AS (which travels over the beacon's own multi-hop path, not a
+single link) and fetching an on-demand algorithm payload (a synchronous
+round trip).  The transport is abstracted behind a small protocol so that
 
 * the discrete-event simulation can deliver messages with realistic link
-  delays and count propagated PCBs per interface and period (Figure 8c),
+  delays, per-AS inboxes and batched drains, and count propagated messages
+  per interface and period (Figure 8c),
 * unit tests can use :class:`LoopbackTransport`, which delivers
   synchronously to in-process control services, and
 * the micro-benchmarks can run a single control service with a
   :class:`NullTransport` that swallows messages.
+
+``send_beacon`` and ``send_revocation`` are kept as thin wrappers over
+:meth:`send_message` — existing callers (the egress gateway, the
+revocation flood) stay source-compatible while every message rides the
+same fabric underneath.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Protocol, Tuple
 
 from repro.core.beacon import Beacon
+from repro.core.messages import ControlMessage, PCBMessage
 from repro.exceptions import SimulationError, UnknownASError
 
 
 class ControlPlaneTransport(Protocol):
     """The inter-AS operations a control service relies on."""
+
+    def send_message(
+        self, sender_as: int, egress_interface: int, message: ControlMessage
+    ) -> None:
+        """Deliver ``message`` over the link attached to ``egress_interface``."""
 
     def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
         """Deliver ``beacon`` over the link attached to ``egress_interface``."""
@@ -49,11 +65,31 @@ class NullTransport:
     sent: List[Tuple[int, int, Beacon]] = field(default_factory=list)
     returned: List[Tuple[int, Beacon]] = field(default_factory=list)
     revoked: List[Tuple[int, int, object]] = field(default_factory=list)
+    messages: List[Tuple[int, int, ControlMessage]] = field(default_factory=list)
     payloads: Dict[Tuple[int, str], bytes] = field(default_factory=dict)
+
+    def send_message(
+        self, sender_as: int, egress_interface: int, message: ControlMessage
+    ) -> None:
+        """Record the typed message without delivering it."""
+        self.messages.append((sender_as, egress_interface, message))
+        if isinstance(message, PCBMessage):
+            self.sent.append((sender_as, egress_interface, message.beacon))
+        elif message.kind == "revocation":
+            self.revoked.append((sender_as, egress_interface, message))
 
     def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
         """Record the send without delivering it."""
-        self.sent.append((sender_as, egress_interface, beacon))
+        self.send_message(
+            sender_as,
+            egress_interface,
+            PCBMessage(
+                origin_as=beacon.origin_as,
+                sequence=len(self.messages) + 1,
+                created_at_ms=0.0,
+                beacon=beacon,
+            ),
+        )
 
     def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
         """Record the return without delivering it."""
@@ -70,7 +106,7 @@ class NullTransport:
 
     def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
         """Record the revocation without delivering it."""
-        self.revoked.append((sender_as, egress_interface, revocation))
+        self.send_message(sender_as, egress_interface, revocation)
 
 
 @dataclass
@@ -78,8 +114,8 @@ class LoopbackTransport:
     """Synchronous in-process delivery between registered control services.
 
     Control services register themselves under their AS identifier; sending
-    a beacon looks up the link's far end in the shared topology and invokes
-    the destination service's ``receive_beacon`` immediately.  Time is
+    a message looks up the link's far end in the shared topology and invokes
+    the destination service's ``on_message`` dispatch immediately.  Time is
     whatever the caller passes via :attr:`clock`.
     """
 
@@ -88,20 +124,41 @@ class LoopbackTransport:
     services: Dict[int, "object"] = field(default_factory=dict)
     sent_count: int = 0
     revocations_sent: int = 0
+    _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
 
     def register(self, service: "object") -> None:
         """Register a control service (anything with ``as_id`` and handlers)."""
         self.services[service.as_id] = service
 
-    def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
-        """Deliver ``beacon`` synchronously to the far end of the link."""
+    def send_message(
+        self, sender_as: int, egress_interface: int, message: ControlMessage
+    ) -> None:
+        """Deliver ``message`` synchronously to the far end of the link."""
         link = self.topology.link_of_interface((sender_as, egress_interface))
         remote_as, remote_interface = link.other_end((sender_as, egress_interface))
         service = self.services.get(remote_as)
         if service is None:
             raise UnknownASError(remote_as)
-        self.sent_count += 1
-        service.receive_beacon(beacon, on_interface=remote_interface, now_ms=self.clock())
+        if isinstance(message, PCBMessage):
+            self.sent_count += 1
+        elif message.kind == "revocation":
+            self.revocations_sent += 1
+        if message.needs_hop_tracking():
+            message = message.with_hop(remote_as)
+        service.on_message(message, on_interface=remote_interface, now_ms=self.clock())
+
+    def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
+        """Deliver ``beacon`` synchronously to the far end of the link."""
+        self.send_message(
+            sender_as,
+            egress_interface,
+            PCBMessage(
+                origin_as=beacon.origin_as,
+                sequence=next(self._sequence),
+                created_at_ms=self.clock(),
+                beacon=beacon,
+            ),
+        )
 
     def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
         """Deliver a returned pull-based beacon to its origin's control service."""
@@ -119,10 +176,4 @@ class LoopbackTransport:
 
     def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
         """Deliver ``revocation`` synchronously to the far end of the link."""
-        link = self.topology.link_of_interface((sender_as, egress_interface))
-        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
-        service = self.services.get(remote_as)
-        if service is None:
-            raise UnknownASError(remote_as)
-        self.revocations_sent += 1
-        service.on_revocation(revocation, on_interface=remote_interface, now_ms=self.clock())
+        self.send_message(sender_as, egress_interface, revocation)

@@ -29,8 +29,14 @@ from repro.core.databases import (
     RegisteredPath,
     StoredBeacon,
 )
-from repro.core.control_service import purge_as_state, purge_link_state
+from repro.core.control_service import (
+    dispatch_batch,
+    dispatch_message,
+    purge_as_state,
+    purge_link_state,
+)
 from repro.core.ingress import IngressGateway
+from repro.core.messages import ControlMessage
 from repro.core.revocation import (
     RevocationMessage,
     RevocationState,
@@ -108,6 +114,19 @@ class LegacyControlService:
         """Return the local AS identifier."""
         return self.view.as_id
 
+    def on_message(self, message: ControlMessage, on_interface: int, now_ms: float):
+        """Handle one typed control message — the unified fabric entry point.
+
+        Legacy ASes speak the same message fabric as IREC ASes (that is
+        what makes mixed deployments possible); the dispatch is shared
+        with :class:`~repro.core.control_service.IrecControlService`.
+        """
+        return dispatch_message(self, message, on_interface, now_ms)
+
+    def on_message_batch(self, entries, now_ms: float):
+        """Handle one drained inbox batch (shared batched dispatch)."""
+        return dispatch_batch(self, entries, now_ms)
+
     def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
         """Handle a PCB delivered by a neighbouring AS."""
         return self.ingress.receive(beacon, on_interface=on_interface, now_ms=now_ms)
@@ -139,10 +158,21 @@ class LegacyControlService:
         now_ms: float,
         failed_link=None,
         failed_as: Optional[int] = None,
+        failed_links: Sequence = (),
+        failed_ases: Sequence[int] = (),
+        ttl_ms: Optional[float] = None,
+        max_hops: Optional[int] = None,
     ) -> RevocationMessage:
         """Originate, apply and flood a signed revocation for a local failure."""
         return _originate_revocation(
-            self, now_ms, failed_link=failed_link, failed_as=failed_as
+            self,
+            now_ms,
+            failed_link=failed_link,
+            failed_as=failed_as,
+            failed_links=tuple(failed_links),
+            failed_ases=tuple(failed_ases),
+            ttl_ms=ttl_ms,
+            max_hops=max_hops,
         )
 
     def on_revocation(

@@ -106,6 +106,7 @@ class BeaconingSimulation:
             collector=self.collector,
             processing_delay_ms=scenario.processing_delay_ms,
             link_state=self.link_state,
+            batch_size=scenario.inbox_batch_size,
         )
         self.services: Dict[int, AnyControlService] = {}
         self.orchestrators: List[PullBasedDisjointnessOrchestrator] = []
@@ -199,7 +200,13 @@ class BeaconingSimulation:
         next ``run()`` (if any).  Events sharing a timestamp with PCB
         deliveries apply first: they were scheduled earlier, and the
         scheduler breaks ties FIFO.
+
+        The timeline is validated first: impossible schedules (a recovery
+        of a link that was never failed, a rejoin of an AS that never
+        left) raise :class:`~repro.exceptions.ConfigurationError` here
+        instead of silently no-opping mid-run.
         """
+        self.scenario.timeline.validate()
         for timed in self.scenario.timeline:
             link_kinds = (LinkFailure, LinkRecovery)
             if isinstance(timed.event, link_kinds) and timed.event.link_id not in self.topology.links:

@@ -36,11 +36,14 @@ class MetricsCollector:
     )
     _returned: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _revocations: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _registrations: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _fetches: int = 0
     total_sent: int = 0
     total_dropped: int = 0
     total_revocations: int = 0
     revocations_dropped: int = 0
+    total_registrations: int = 0
+    registrations_dropped: int = 0
 
     def record_send(self, sender_as: int, interface_id: int, time_ms: float) -> None:
         """Record one PCB transmission."""
@@ -76,6 +79,21 @@ class MetricsCollector:
     def record_revocation_drop(self, time_ms: float) -> None:
         """Record one revocation lost on an unavailable link in flight."""
         self.revocations_dropped += 1
+
+    def record_registration(self, sender_as: int, interface_id: int, time_ms: float) -> None:
+        """Record one path-registration message transmission.
+
+        Like revocations, registrations are counted disjointly from PCB
+        sends so :meth:`control_messages_total` counts each message of the
+        unified fabric exactly once.
+        """
+        period = int(time_ms // self.period_ms)
+        self._registrations[period] += 1
+        self.total_registrations += 1
+
+    def record_registration_drop(self, time_ms: float) -> None:
+        """Record one path-registration message lost on an unavailable link."""
+        self.registrations_dropped += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -119,25 +137,33 @@ class MetricsCollector:
     def control_messages_total(self) -> int:
         """Return every control-plane message sent so far.
 
-        Sends (including ones later dropped in flight), pull returns and
-        revocation messages all count.  Each revocation transmission is
-        recorded once (via :meth:`record_revocation`, which is disjoint
-        from :meth:`record_send`), so no message is double-counted; the
-        convergence collector snapshots this to attribute overhead to
-        individual events.
+        Sends (including ones later dropped in flight), pull returns,
+        revocation messages and path registrations all count.  Each typed
+        message's transmission is recorded once (the per-kind recorders
+        are disjoint), so no message is double-counted; the convergence
+        collector snapshots this to attribute overhead to individual
+        events.
         """
-        return self.total_sent + self.returned_beacons() + self.total_revocations
+        return (
+            self.total_sent
+            + self.returned_beacons()
+            + self.total_revocations
+            + self.total_registrations
+        )
 
     def reset(self) -> None:
         """Zero all counters."""
         self._counts.clear()
         self._returned.clear()
         self._revocations.clear()
+        self._registrations.clear()
         self._fetches = 0
         self.total_sent = 0
         self.total_dropped = 0
         self.total_revocations = 0
         self.revocations_dropped = 0
+        self.total_registrations = 0
+        self.registrations_dropped = 0
 
 
 @dataclass

@@ -227,6 +227,48 @@ class ScenarioTimeline:
         """Return the timed events in insertion order."""
         return tuple(self._events)
 
+    def validate(self) -> None:
+        """Reject schedules that would silently no-op when executed.
+
+        Replays the timeline in execution order (time, then insertion
+        order — exactly how the scheduler fires it) and raises
+        :class:`ConfigurationError` for a :class:`LinkRecovery` of a link
+        that is not failed at that point, or an :class:`ASJoin` of an AS
+        that is not offline.  Both were previously silent no-ops
+        (``LinkState`` discards unknown keys), which hid scheduling
+        mistakes like a recovery firing before its failure or a mistyped
+        link id.  Negative event times are already rejected at
+        :class:`TimedEvent` construction.
+
+        The beaconing driver calls this before scheduling the timeline;
+        call it directly to check a hand-built timeline early.
+        """
+        failed: set = set()
+        offline: set = set()
+        ordered = sorted(self._events, key=lambda timed: timed.time_ms)
+        for timed in ordered:
+            event = timed.event
+            if isinstance(event, LinkFailure):
+                failed.add(event.link_id)
+            elif isinstance(event, LinkRecovery):
+                if event.link_id not in failed:
+                    raise ConfigurationError(
+                        f"timeline event {timed.trace_label()!r} recovers a link "
+                        "that is not failed at that time — a recovery needs an "
+                        "earlier failure of the same link"
+                    )
+                failed.discard(event.link_id)
+            elif isinstance(event, ASLeave):
+                offline.add(event.as_id)
+            elif isinstance(event, ASJoin):
+                if event.as_id not in offline:
+                    raise ConfigurationError(
+                        f"timeline event {timed.trace_label()!r} rejoins an AS "
+                        "that is not offline at that time — a join needs an "
+                        "earlier leave of the same AS"
+                    )
+                offline.discard(event.as_id)
+
     def __len__(self) -> int:
         return len(self._events)
 

@@ -1,31 +1,72 @@
-"""The simulated control-plane transport.
+"""The simulated control-plane transport: a routed message fabric.
 
-Implements :class:`repro.core.transport.ControlPlaneTransport` on top of the
-discrete-event scheduler: PCBs sent over a link are delivered to the far
-end's control service after the link's propagation delay (plus a small
-configurable processing overhead), returned pull beacons travel back to
-their origin with the accumulated latency of the path they describe, and
-algorithm fetches cost one round trip over that same path.  Every
-transmission is reported to the :class:`MetricsCollector`.
+Implements :class:`repro.core.transport.ControlPlaneTransport` on top of
+the discrete-event scheduler as **one** generic delivery path for every
+typed control message (:mod:`repro.core.messages`): PCBs, revocations and
+path registrations sent over a link all flow through
+:meth:`SimulatedTransport.send_message`, which applies per-hop latency
+(link propagation + processing overhead), :class:`LinkState` loss at both
+send and delivery time, and per-kind metrics uniformly — where the
+pre-fabric transport kept one hand-rolled copy of that logic per message
+type.
+
+Delivered messages are not handed to the receiving control service one by
+one: they land in a **per-AS inbox** that is drained in batches at the
+scheduler tick they arrived on.  Every entry of a drained batch therefore
+shares its arrival timestamp, so database state and withdrawal
+(``applied_at``) timestamps are bit-identical to per-message delivery
+(``batch_size=1``) — pinned by the dispatch-equivalence property tests —
+while the batch lets the control service amortize work across messages
+(e.g. one admission per duplicate beacon group, see
+:func:`repro.core.control_service.dispatch_batch`).
+
+Returned pull beacons travel back to their origin with the accumulated
+latency of the path they describe, and algorithm fetches cost one round
+trip over that same path; both predate the fabric and keep their
+path-travel (not link-routed) delivery.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.beacon import Beacon
-from repro.core.transport import ControlPlaneTransport
-from repro.exceptions import AlgorithmError, SimulationError, UnknownASError
+from repro.core.messages import ControlMessage, PCBMessage
+from repro.exceptions import (
+    AlgorithmError,
+    ConfigurationError,
+    SimulationError,
+    UnknownASError,
+)
 from repro.simulation.collector import MetricsCollector
 from repro.simulation.engine import EventScheduler
 from repro.simulation.failures import LinkState
 from repro.topology.graph import Topology
 
 
+class _Inbox:
+    """One AS's pending delivered-but-undrained messages.
+
+    A plain slotted class on the delivery fast path: every message pays
+    one append here, and floods push millions of them.
+    """
+
+    __slots__ = ("entries", "drain_scheduled", "draining")
+
+    def __init__(self) -> None:
+        #: (message, arrival_interface) in arrival order.
+        self.entries: List[Tuple[ControlMessage, int]] = []
+        #: Whether a drain event is already queued for this inbox.
+        self.drain_scheduled = False
+        #: Re-entrancy guard for synchronous (immediate) drains.
+        self.draining = False
+
+
 @dataclass
 class SimulatedTransport:
-    """Scheduler-driven transport between control services.
+    """Scheduler-driven message fabric between control services.
 
     Attributes:
         topology: The global topology (used to resolve links and delays).
@@ -33,13 +74,18 @@ class SimulatedTransport:
         collector: Transmission counters for the overhead evaluation.
         processing_delay_ms: Fixed per-hop control-plane processing delay
             added to the link propagation delay.
-        deliver_immediately: When set, messages are delivered synchronously
-            instead of being scheduled; used by tests that do not care about
-            timing.
+        deliver_immediately: When set, messages are delivered and
+            dispatched synchronously instead of being scheduled; used by
+            tests that do not care about timing.
         link_state: Live link/AS availability (dynamic scenarios).  Checked
-            both when a PCB is sent and when it would be delivered, so a
-            link failing mid-flight loses the PCBs currently on it.  When
-            ``None`` every link is always available (static scenarios).
+            both when a message is sent and when it would be delivered, so
+            a link failing mid-flight loses the messages currently on it.
+            When ``None`` every link is always available (static
+            scenarios).
+        batch_size: Maximum messages handed to a control service per inbox
+            drain.  ``None`` (the default) drains everything pending at
+            the tick; ``1`` is per-message delivery, the behavioural
+            reference the equivalence tests compare against.
     """
 
     topology: Topology
@@ -48,11 +94,35 @@ class SimulatedTransport:
     processing_delay_ms: float = 1.0
     deliver_immediately: bool = False
     link_state: Optional[LinkState] = None
+    batch_size: Optional[int] = None
     services: Dict[int, object] = field(default_factory=dict)
+    _inboxes: Dict[int, _Inbox] = field(default_factory=dict)
+    _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
+    #: (sender_as, egress_interface) → (link key, link latency, remote AS,
+    #: remote interface, remote inbox).  The topology's link set is fixed
+    #: for a simulation's lifetime (churn toggles availability, it never
+    #: adds links), so egress resolution is memoized — the flood fast path
+    #: pays one dict hit instead of a link lookup + endpoint resolution
+    #: per message.
+    _routes: Dict[Tuple[int, int], tuple] = field(default_factory=dict)
+    #: Pre-bound per-AS drain callbacks (no per-tick lambda allocation).
+    _drain_callbacks: Dict[int, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be None or >= 1, got {self.batch_size}"
+            )
 
     def register(self, service: object) -> None:
         """Register a control service under its AS identifier."""
-        self.services[service.as_id] = service
+        as_id = service.as_id
+        self.services[as_id] = service
+        self._inboxes[as_id] = _Inbox()
+        self._drain_callbacks[as_id] = (
+            lambda now_ms, _as_id=as_id: self._drain(_as_id, now_ms)
+        )
+        self._routes.clear()  # routes close over inboxes; rebuild lazily
 
     def service_of(self, as_id: int) -> object:
         """Return the registered control service of ``as_id``."""
@@ -62,105 +132,183 @@ class SimulatedTransport:
         return service
 
     # ------------------------------------------------------------------
-    # ControlPlaneTransport implementation
+    # the routed fabric
+    # ------------------------------------------------------------------
+    def _route(self, sender_as: int, egress_interface: int) -> tuple:
+        """Resolve (and memoize) the egress endpoint's delivery route."""
+        endpoint = (sender_as, egress_interface)
+        route = self._routes.get(endpoint)
+        if route is None:
+            link = self.topology.link_of_interface(endpoint)
+            remote_as, remote_interface = link.other_end(endpoint)
+            self.service_of(remote_as)  # fail fast on unknown receivers
+            route = (
+                link.key,
+                link.latency_ms,
+                remote_as,
+                remote_interface,
+                self._inboxes[remote_as],
+            )
+            self._routes[endpoint] = route
+        return route
+
+    def send_message(
+        self, sender_as: int, egress_interface: int, message: ControlMessage
+    ) -> None:
+        """Deliver ``message`` to the AS at the far end of the egress link.
+
+        The one delivery path every link-routed message type shares:
+        resolve the link, record the transmission (by message kind), drop
+        if the link is unavailable now or at delivery time (PCBs
+        additionally require their own advertised path to still be up —
+        a beacon crossing a link that failed while it was in flight must
+        not re-poison the databases the revocation flood just purged),
+        pay ``link latency + processing delay``, and enqueue into the
+        receiver's inbox for the batched drain at the arrival tick.
+        """
+        route = self._routes.get((sender_as, egress_interface))
+        if route is None:
+            route = self._route(sender_as, egress_interface)
+        link_key, latency_ms, remote_as, remote_interface, inbox = route
+        kind = message.kind
+        now_ms = self.scheduler.now_ms
+        if kind == "pcb":
+            self.collector.record_send(sender_as, egress_interface, now_ms)
+        elif kind == "revocation":
+            self.collector.record_revocation(sender_as, egress_interface, now_ms)
+        elif kind == "path_registration":
+            self.collector.record_registration(sender_as, egress_interface, now_ms)
+        else:
+            # An unknown kind must fail loudly: silently mis-binning it
+            # would corrupt the overhead accounting (Figure 8c) without
+            # any error.  A new message type adds its recorder here.
+            raise SimulationError(
+                f"message kind {kind!r} has no metrics recorder; "
+                "register it in SimulatedTransport.send_message"
+            )
+
+        if (
+            self.link_state is not None
+            and self.link_state.impaired()
+            and not self.link_state.link_key_available(link_key)
+        ):
+            self._record_drop(message, now_ms)
+            return
+
+        def deliver(
+            now_ms: float,
+            _message=message,
+            _remote_as=remote_as,
+            _interface=remote_interface,
+            _link_key=link_key,
+            _inbox=inbox,
+            _track=message.needs_hop_tracking(),
+        ):
+            if self.link_state is not None and self.link_state.impaired():
+                if not self.link_state.link_key_available(_link_key):
+                    self._record_drop(_message, now_ms)
+                    return
+                if isinstance(_message, PCBMessage) and not self.link_state.path_available(
+                    _message.beacon.links()
+                ):
+                    self._record_drop(_message, now_ms)
+                    return
+            if _track:
+                _message = _message.with_hop(_remote_as)
+            _inbox.entries.append((_message, _interface))
+            if self.deliver_immediately:
+                # Synchronous mode: drain right away unless a drain higher
+                # up the call stack is already consuming this inbox.
+                if not _inbox.draining:
+                    self._drain(_remote_as, now_ms)
+            elif not _inbox.drain_scheduled:
+                _inbox.drain_scheduled = True
+                self.scheduler.schedule_at(now_ms, self._drain_callbacks[_remote_as])
+
+        if self.deliver_immediately:
+            deliver(now_ms + latency_ms + self.processing_delay_ms)
+        else:
+            self.scheduler.schedule_in(
+                latency_ms + self.processing_delay_ms, deliver
+            )
+
+    def _drain(self, as_id: int, now_ms: float) -> None:
+        """Hand the inbox's pending messages to the control service.
+
+        Drains run at the same scheduler tick the messages arrived on —
+        the drain event is scheduled at the arrival timestamp, and
+        messages arriving at a later tick schedule their own drain — so
+        every entry of a batch shares ``now_ms`` with its per-message
+        delivery time.  With a finite :attr:`batch_size` the handler is
+        invoked repeatedly with at most that many entries per call, still
+        within this tick.
+        """
+        inbox = self._inboxes[as_id]
+        inbox.drain_scheduled = False
+        if inbox.draining or not inbox.entries:
+            return
+        service = self.services[as_id]
+        inbox.draining = True
+        try:
+            entries = inbox.entries
+            if self.batch_size is None and not self.deliver_immediately:
+                # Scheduled-mode fast path: handlers cannot enqueue into
+                # this inbox synchronously, so one swap hands over the
+                # whole tick's batch without re-checking the list.
+                inbox.entries = []
+                service.on_message_batch(entries, now_ms)
+                return
+            while inbox.entries:
+                if self.batch_size is None:
+                    batch, inbox.entries = inbox.entries, []
+                else:
+                    batch = inbox.entries[: self.batch_size]
+                    del inbox.entries[: self.batch_size]
+                service.on_message_batch(batch, now_ms)
+        finally:
+            inbox.draining = False
+
+    def pending_messages(self, as_id: int) -> int:
+        """Return how many delivered messages await draining at ``as_id``."""
+        inbox = self._inboxes.get(as_id)
+        return len(inbox.entries) if inbox is not None else 0
+
+    # ------------------------------------------------------------------
+    # per-kind metrics routing
+    # ------------------------------------------------------------------
+    def _record_drop(self, message: ControlMessage, now_ms: float) -> None:
+        if message.kind == "revocation":
+            self.collector.record_revocation_drop(now_ms)
+        elif message.kind == "pcb":
+            self.collector.record_drop(now_ms)
+        elif message.kind == "path_registration":
+            self.collector.record_registration_drop(now_ms)
+        else:  # unreachable: send_message rejected the kind already
+            raise SimulationError(f"message kind {message.kind!r} has no drop recorder")
+
+    # ------------------------------------------------------------------
+    # ControlPlaneTransport compatibility wrappers
     # ------------------------------------------------------------------
     def send_beacon(self, sender_as: int, egress_interface: int, beacon: Beacon) -> None:
-        """Deliver ``beacon`` to the AS at the far end of the egress link.
-
-        With a :class:`LinkState` attached, the PCB is lost (counted as a
-        drop) if the link is unavailable now or at delivery time.
-        """
-        link = self.topology.link_of_interface((sender_as, egress_interface))
-        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
-        receiver = self.service_of(remote_as)
-        self.collector.record_send(sender_as, egress_interface, self.scheduler.now_ms)
-
-        if (
-            self.link_state is not None
-            and self.link_state.impaired()
-            and not self.link_state.link_key_available(link.key)
-        ):
-            self.collector.record_drop(self.scheduler.now_ms)
-            return
-
-        delay_ms = link.latency_ms + self.processing_delay_ms
-
-        def deliver(
-            now_ms: float,
-            _receiver=receiver,
-            _beacon=beacon,
-            _interface=remote_interface,
-            _link_key=link.key,
-        ):
-            # Both the delivery link and the beacon's own path must still be
-            # up: a beacon crossing a link that failed while it was in
-            # flight must not re-poison the databases the invalidation
-            # flood just purged.
-            if (
-                self.link_state is not None
-                and self.link_state.impaired()
-                and (
-                    not self.link_state.link_key_available(_link_key)
-                    or not self.link_state.path_available(_beacon.links())
-                )
-            ):
-                self.collector.record_drop(now_ms)
-                return
-            _receiver.receive_beacon(_beacon, on_interface=_interface, now_ms=now_ms)
-
-        if self.deliver_immediately:
-            deliver(self.scheduler.now_ms + delay_ms)
-        else:
-            self.scheduler.schedule_in(delay_ms, deliver)
+        """Frame ``beacon`` as a :class:`PCBMessage` and send it."""
+        self.send_message(
+            sender_as,
+            egress_interface,
+            PCBMessage(
+                origin_as=beacon.origin_as,
+                sequence=next(self._sequence),
+                created_at_ms=self.scheduler.now_ms,
+                beacon=beacon,
+            ),
+        )
 
     def send_revocation(self, sender_as: int, egress_interface: int, revocation) -> None:
-        """Deliver ``revocation`` to the AS at the far end of the egress link.
+        """Send a revocation message (already a typed control message)."""
+        self.send_message(sender_as, egress_interface, revocation)
 
-        Revocations travel exactly like PCBs — one hop at a time, paying
-        the link's propagation delay plus the processing overhead — and are
-        recorded separately from PCB sends so the overhead accounting
-        counts each revocation message exactly once.  A revocation whose
-        carrying link is unavailable now or at delivery time is lost
-        (e.g. a revocation for one failed link crossing another failed
-        link): the far side then only learns of the failure over some other
-        path, or never.
-        """
-        link = self.topology.link_of_interface((sender_as, egress_interface))
-        remote_as, remote_interface = link.other_end((sender_as, egress_interface))
-        receiver = self.service_of(remote_as)
-        self.collector.record_revocation(sender_as, egress_interface, self.scheduler.now_ms)
-
-        if (
-            self.link_state is not None
-            and self.link_state.impaired()
-            and not self.link_state.link_key_available(link.key)
-        ):
-            self.collector.record_revocation_drop(self.scheduler.now_ms)
-            return
-
-        delay_ms = link.latency_ms + self.processing_delay_ms
-
-        def deliver(
-            now_ms: float,
-            _receiver=receiver,
-            _revocation=revocation,
-            _interface=remote_interface,
-            _link_key=link.key,
-        ):
-            if (
-                self.link_state is not None
-                and self.link_state.impaired()
-                and not self.link_state.link_key_available(_link_key)
-            ):
-                self.collector.record_revocation_drop(now_ms)
-                return
-            _receiver.on_revocation(_revocation, on_interface=_interface, now_ms=now_ms)
-
-        if self.deliver_immediately:
-            deliver(self.scheduler.now_ms + delay_ms)
-        else:
-            self.scheduler.schedule_in(delay_ms, deliver)
-
+    # ------------------------------------------------------------------
+    # path-travel deliveries (not link-routed)
+    # ------------------------------------------------------------------
     def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
         """Return a terminated pull beacon to its origin over the beacon's path."""
         origin = self.service_of(beacon.origin_as)

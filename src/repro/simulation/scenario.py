@@ -82,6 +82,11 @@ class ScenarioConfig:
             remembers processed revocation ``(origin, sequence)`` keys;
             duplicates inside the window are dropped without re-applying
             or re-forwarding (see :mod:`repro.core.revocation`).
+        inbox_batch_size: Maximum messages the transport fabric hands to a
+            control service per inbox drain.  ``None`` (the default)
+            drains everything pending at a scheduler tick — the batched
+            fast path; ``1`` forces per-message delivery, the behavioural
+            reference of the dispatch-equivalence tests.
     """
 
     algorithms: Tuple[AlgorithmSpec, ...]
@@ -93,6 +98,7 @@ class ScenarioConfig:
     processing_delay_ms: float = 1.0
     timeline: ScenarioTimeline = field(default_factory=ScenarioTimeline)
     revocation_dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
+    inbox_batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.algorithms and not self.legacy_ases:
@@ -102,6 +108,10 @@ class ScenarioConfig:
         if self.propagation_interval_ms <= 0:
             raise ConfigurationError(
                 f"propagation interval must be positive, got {self.propagation_interval_ms}"
+            )
+        if self.inbox_batch_size is not None and self.inbox_batch_size < 1:
+            raise ConfigurationError(
+                f"inbox_batch_size must be None or >= 1, got {self.inbox_batch_size}"
             )
 
     def at(self, time_ms: float) -> TimelineCursor:

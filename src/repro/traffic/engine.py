@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.databases import PathService, RegisteredPath
+from repro.core.messages import RevocationMessage
 from repro.dataplane.endhost import EndHost, PathPolicy
 from repro.dataplane.network import DataPlaneNetwork
 from repro.dataplane.packet import Packet
@@ -236,15 +237,20 @@ class TrafficEngine:
         # Policy/RAC swaps and period changes do not invalidate forwarding
         # state; withdrawn paths surface at the next round's revalidation.
 
-    def on_revocation(self, as_id: int, revocation, removed, now_ms: float) -> None:
-        """Break flow groups whose paths a revocation just withdrew.
+    def on_revocation(self, as_id: int, message, removed, now_ms: float) -> None:
+        """Break flow groups whose paths a withdrawal message just removed.
 
         Registered as a :meth:`BeaconingSimulation.add_revocation_listener`
-        callback: fired when the revocation flood reaches ``as_id`` and its
-        path service withdraws state.  Groups sourced at that AS whose
-        selected paths vanished are broken *now* — at withdrawal-arrival
-        time, not at the failure timestamp.
+        callback: fired when a control message withdraws state at
+        ``as_id``.  The listener is keyed on the fabric's message type —
+        only :class:`~repro.core.messages.RevocationMessage` withdrawals
+        break flows; other (future) withdrawal-causing message kinds are
+        ignored here.  Groups sourced at that AS whose selected paths
+        vanished are broken *now* — at withdrawal-arrival time, not at
+        the failure timestamp.
         """
+        if not isinstance(message, RevocationMessage):
+            return
         _ingress_removed, paths_removed = removed
         if not paths_removed:
             return
@@ -256,7 +262,7 @@ class TrafficEngine:
             if not state.assigned:
                 continue
             if any(service.get(use.digest) is None for use in state.uses):
-                self._invalidate_group(group_index, revocation.trace_label(), now_ms)
+                self._invalidate_group(group_index, message.trace_label(), now_ms)
 
     def _break_endpoint_groups(
         self, as_id: int, event: ScenarioEvent, now_ms: float

@@ -83,6 +83,57 @@ class TestTimelineDSL:
             ScenarioTimeline().extend([ASLeave(as_id=1)])  # not a TimedEvent
 
 
+class TestTimelineValidation:
+    """Satellite: impossible schedules fail loudly instead of no-opping."""
+
+    link = ((1, 2), (2, 1))
+
+    def test_recovery_without_failure_rejected(self):
+        timeline = ScenarioTimeline()
+        timeline.at(100.0).recover_link(self.link)
+        with pytest.raises(ConfigurationError, match="not failed"):
+            timeline.validate()
+
+    def test_recovery_scheduled_before_its_failure_rejected(self):
+        timeline = ScenarioTimeline()
+        # Insertion order is fine, execution order is not: the recovery
+        # fires at 100 ms, before the 200 ms failure.
+        timeline.at(200.0).fail_link(self.link).at(100.0).recover_link(self.link)
+        with pytest.raises(ConfigurationError, match="not failed"):
+            timeline.validate()
+
+    def test_double_recovery_rejected(self):
+        timeline = ScenarioTimeline()
+        timeline.at(10.0).fail_link(self.link)
+        timeline.at(20.0).recover_link(self.link).at(30.0).recover_link(self.link)
+        with pytest.raises(ConfigurationError, match="not failed"):
+            timeline.validate()
+
+    def test_join_without_leave_rejected(self):
+        timeline = ScenarioTimeline()
+        timeline.at(50.0).as_join(3)
+        with pytest.raises(ConfigurationError, match="not offline"):
+            timeline.validate()
+
+    def test_valid_schedules_pass(self):
+        timeline = ScenarioTimeline()
+        timeline.at(10.0).fail_link(self.link).at(20.0).recover_link(self.link)
+        timeline.at(30.0).fail_link(self.link).at(40.0).recover_link(self.link)
+        timeline.at(50.0).as_leave(3).at(60.0).as_join(3)
+        timeline.validate()  # must not raise
+
+    def test_negative_event_time_rejected_with_clear_error(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            ScenarioTimeline().add(-5.0, LinkFailure(link_id=self.link))
+
+    def test_engine_rejects_recovery_of_never_failed_link(self):
+        topology = line_topology(3)
+        scenario = don_scenario(periods=2, verify_signatures=False)
+        scenario.at(100.0).recover_link(topology.link_ids()[0])
+        with pytest.raises(ConfigurationError, match="not failed"):
+            BeaconingSimulation(topology, scenario)
+
+
 class TestLinkState:
     def test_link_and_as_availability(self):
         state = LinkState()

@@ -112,6 +112,31 @@ class TestRevocationState:
         # which is harmless because withdrawal is idempotent.
         assert not state.is_duplicate((1, 1), 5_000.0)
 
+    def test_bulk_pruning_bounds_memory_over_long_flood(self):
+        """Satellite regression: lazy bulk pruning really evicts old keys.
+
+        A long flood of distinct revocations advances simulated time far
+        past the dedup window; without the bulk prune the seen-set would
+        grow with every message forever.  With one key per millisecond and
+        a 1-second window, at most ~1000 keys are inside the window at any
+        time, so the mapping must stay bounded by the prune threshold —
+        and the evicted keys must be gone from the dict, not merely
+        expired-on-probe.
+        """
+        state = RevocationState(dedup_window_ms=1_000.0)
+        total = 20_000
+        for sequence in range(1, total + 1):
+            state.mark_seen((1, sequence), float(sequence))
+        # Bounded: the prune threshold (4096) plus the entry that
+        # triggered the pass, never the 20k keys seen overall.
+        assert len(state._seen) <= 4097
+        # Old entries were evicted from the mapping itself.
+        assert (1, 1) not in state._seen
+        assert not state.is_duplicate((1, 1), float(total))
+        # Recent entries inside the window survive the pruning.
+        assert (1, total) in state._seen
+        assert state.is_duplicate((1, total), float(total))
+
     def test_applied_from_filters_by_origin(self):
         state = RevocationState()
         state.record_applied((1, 1), 10.0)
