@@ -39,6 +39,14 @@ Stages
                               flow-rounds/s and — in a scenario-coupled
                               second run — goodput recovery after a stub AS
                               is cut off (added in PR 3),
+* ``control_overload``      — a simultaneous revocation storm against
+                              bounded, rate-limited per-AS inboxes
+                              (finite service budget, bounded capacity,
+                              priority scheduling): reports storm
+                              throughput (messages/s, regression-gated)
+                              plus the queueing-delay distribution,
+                              drop/mark/deferral counters and the
+                              deepest queue reached (added in PR 6),
 * ``message_fabric``        — the unified message fabric: a mixed workload
                               of path-registration messages and revocation
                               floods driven through the typed transport,
@@ -484,6 +492,61 @@ def stage_message_fabric(scale: str) -> dict:
     }
 
 
+def stage_control_overload(scale: str) -> dict:
+    """Bounded-inbox revocation storm: throughput plus the queueing tail.
+
+    Every AS runs a finite service budget (8 messages per 5 ms round,
+    capacity 256, tail-drop), and a 30-link simultaneous storm hits
+    mid-run — the workload the queue model exists for.  The headline
+    ``messages_per_s`` is the storm's end-to-end control-message
+    throughput (the run converges despite the backpressure); the
+    queue-delay distribution and the drop/mark/deferral counters describe
+    *how* the control plane degraded.
+    """
+    import random
+
+    from repro.simulation.events import revocation_storm
+    from repro.simulation.network import InboxProfile
+
+    topology = generate_topology(scale_topology_config(scale))
+    interval_ms = 600_000.0
+    scenario = don_scenario(periods=3, verify_signatures=False)
+    scenario.inbox_profile = InboxProfile(
+        budget_per_tick=8, capacity=256, service_interval_ms=5.0
+    )
+    scenario.timeline.extend(
+        revocation_storm(
+            topology, count=30, rng=random.Random(23), at_ms=1.5 * interval_ms
+        )
+    )
+
+    def run():
+        return BeaconingSimulation(topology, scenario).run()
+
+    result, wall_s, counters = _staged(run)
+    collector = result.collector
+    delay = collector.queue_delay_stats()
+    high_water = collector.queue_high_water_marks()
+    messages = collector.control_messages_total()
+    return {
+        "wall_s": wall_s,
+        "messages": messages,
+        "messages_per_s": messages / wall_s if wall_s > 0 else 0.0,
+        "revocations": collector.total_revocations,
+        "inbox_dropped": collector.inbox_dropped_total(),
+        "inbox_marked": collector.inbox_marked_total(),
+        "inbox_deferred": collector.inbox_deferred_total(),
+        "queue_delay_ms": {
+            "mean": delay["mean"],
+            "p99": delay["p99"],
+            "count": delay["count"],
+        },
+        "max_queue_depth": max(high_water.values()) if high_water else 0,
+        "ases": topology.num_ases,
+        "crypto_ops": counters,
+    }
+
+
 def stage_traffic(scale: str) -> dict:
     """Flow-level traffic engine: flow-rounds/s plus goodput recovery."""
     from repro.simulation.beaconing import BeaconingSimulation
@@ -668,7 +731,7 @@ def git_revision() -> dict:
 def run_all(scale: str, periods: int) -> dict:
     report = {
         "meta": {
-            "harness": "run_benchmarks.py v2 (PR 5)",
+            "harness": "run_benchmarks.py v2 (PR 6)",
             "scale": scale,
             "periods": periods,
             "python": platform.python_version(),
@@ -685,6 +748,7 @@ def run_all(scale: str, periods: int) -> dict:
         ("dynamic_convergence", lambda: stage_dynamic_convergence(scale, periods)),
         ("revocation", lambda: stage_revocation(scale)),
         ("message_fabric", lambda: stage_message_fabric(scale)),
+        ("control_overload", lambda: stage_control_overload(scale)),
         ("traffic", lambda: stage_traffic(scale)),
     )
     for name, stage in stages:

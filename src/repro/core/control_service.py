@@ -52,6 +52,7 @@ from repro.core.revocation import (
     DEFAULT_DEDUP_WINDOW_MS,
     RevocationMessage,
     RevocationState,
+    bounce_if_revoked as _bounce_if_revoked,
     handle_revocation as _handle_revocation,
     originate_revocation as _originate_revocation,
 )
@@ -479,7 +480,19 @@ class IrecControlService:
         return message
 
     def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
-        """Handle a PCB delivered by a neighbouring AS."""
+        """Handle a PCB delivered by a neighbouring AS.
+
+        Negative caching: a beacon crossing an element this service
+        withdrew inside the dedup window is bounced — the cached
+        revocation is re-sent toward the sender instead of admitting the
+        resurrected path (the emptiness check keeps the common path one
+        attribute load).
+        """
+        revocations = self.revocations
+        if (
+            revocations.revoked_links or revocations.revoked_ases
+        ) and _bounce_if_revoked(self, beacon, on_interface, now_ms):
+            return False
         return self.ingress.receive(beacon, on_interface=on_interface, now_ms=now_ms)
 
     def receive_returned_beacon(self, beacon: Beacon, now_ms: float) -> None:

@@ -89,6 +89,10 @@ class ControlMessage:
     sequence: int
     created_at_ms: float
     hop_path: Tuple[int, ...] = ()
+    #: ECN-style congestion signal: set by a bounded inbox in ``mark``
+    #: overflow mode instead of tail-dropping the message.  Not part of
+    #: any message's wire encoding or identity.
+    congestion_marked: bool = False
 
     #: Stable short name used by the transport's per-kind metrics routing.
     kind: ClassVar[str] = "control"
@@ -117,6 +121,14 @@ class ControlMessage:
     def with_hop(self, as_id: int) -> "ControlMessage":
         """Return a copy whose hop path records arrival at ``as_id``."""
         return replace(self, hop_path=(*self.hop_path, int(as_id)))
+
+    def with_congestion_mark(self) -> "ControlMessage":
+        """Return a copy flagged as congestion-marked (ECN-style).
+
+        Only called by a bounded inbox in ``mark`` overflow mode, so the
+        copy cost is confined to actual overflow events.
+        """
+        return replace(self, congestion_marked=True)
 
     def needs_hop_tracking(self) -> bool:
         """Return whether the fabric must stamp hops onto this message.

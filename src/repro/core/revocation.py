@@ -57,6 +57,7 @@ __all__ = [
     "DEFAULT_DEDUP_WINDOW_MS",
     "RevocationMessage",
     "RevocationState",
+    "bounce_if_revoked",
     "handle_revocation",
     "originate_revocation",
 ]
@@ -82,12 +83,23 @@ class RevocationState:
         applied_at: First time each accepted revocation's withdrawal was
             applied locally — the per-AS withdrawal timestamps that make
             propagation-ordered convergence measurable.
+        revoked_links: Negative cache: link → (applied revocation message,
+            applied-at time).  Consulted when a beacon arrives over a
+            recently revoked element (see :func:`bounce_if_revoked`);
+            cleared by the driver when the element recovers.
+        revoked_ases: Negative cache for departed ASes, same shape.
     """
 
     dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
     #: (origin, sequence) → first-seen time, insertion-ordered for pruning.
     _seen: Dict[Tuple[int, int], float] = field(default_factory=dict)
     applied_at: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    revoked_links: Dict[LinkID, Tuple[RevocationMessage, float]] = field(
+        default_factory=dict
+    )
+    revoked_ases: Dict[int, Tuple[RevocationMessage, float]] = field(
+        default_factory=dict
+    )
     _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
     received: int = 0
     duplicates: int = 0
@@ -96,6 +108,8 @@ class RevocationState:
     rejected_invalid: int = 0
     #: Copies dropped because they exceeded their TTL (stale withdrawals).
     rejected_stale: int = 0
+    #: Revocations re-originated by the negative cache (beacon bounces).
+    reoriginated: int = 0
 
     def next_sequence(self) -> int:
         """Return the next origination sequence number of this service."""
@@ -133,6 +147,52 @@ class RevocationState:
             at_ms for (origin, _seq), at_ms in self.applied_at.items() if origin == origin_as
         ]
 
+    def cache_revoked_elements(self, message: RevocationMessage, now_ms: float) -> None:
+        """Remember the message's revoked elements for beacon bouncing."""
+        for link in message.failed_links:
+            self.revoked_links[link] = (message, now_ms)
+        for gone_as in message.failed_ases:
+            self.revoked_ases[gone_as] = (message, now_ms)
+
+    def clear_revoked_link(self, link_id: LinkID) -> None:
+        """Forget a revoked link (the driver saw it recover)."""
+        self.revoked_links.pop(link_id, None)
+
+    def clear_revoked_as(self, as_id: int) -> None:
+        """Forget a departed AS (the driver saw it rejoin)."""
+        self.revoked_ases.pop(as_id, None)
+
+    def revoked_recently(
+        self, links, ases, now_ms: float
+    ) -> Optional[RevocationMessage]:
+        """Return the cached revocation covering any given element, if fresh.
+
+        Checks the beacon's links and AS path against the negative caches;
+        entries older than the dedup window are expired lazily.  Returns
+        the first fresh match (the message to re-originate) or ``None``.
+        """
+        revoked_links = self.revoked_links
+        if revoked_links:
+            for link in links:
+                cached = revoked_links.get(link)
+                if cached is None:
+                    continue
+                if now_ms - cached[1] > self.dedup_window_ms:
+                    del revoked_links[link]
+                    continue
+                return cached[0]
+        revoked_ases = self.revoked_ases
+        if revoked_ases:
+            for as_id in ases:
+                cached = revoked_ases.get(as_id)
+                if cached is None:
+                    continue
+                if now_ms - cached[1] > self.dedup_window_ms:
+                    del revoked_ases[as_id]
+                    continue
+                return cached[0]
+        return None
+
     def _prune(self, now_ms: float) -> None:
         # _seen is insertion-ordered by first-seen time and first-seen
         # times never decrease, so expired entries form a prefix.
@@ -162,6 +222,7 @@ def _apply(service, message: RevocationMessage, now_ms: float) -> Tuple[int, int
         paths_removed += as_paths
     removed = (ingress_removed, paths_removed)
     service.revocations.record_applied(message.key, now_ms)
+    service.revocations.cache_revoked_elements(message, now_ms)
     callback = getattr(service, "on_withdrawal", None)
     if callback is not None:
         callback(message, removed, now_ms)
@@ -242,6 +303,33 @@ def originate_revocation(
     _apply(service, message, now_ms)
     _forward(service, message, arrival_interface=None)
     return message
+
+
+def bounce_if_revoked(service, beacon, on_interface, now_ms: float) -> bool:
+    """Negative caching: bounce a beacon crossing a recently revoked element.
+
+    A beacon arriving over a link or AS the service withdrew inside the
+    dedup window means the sender has not heard the withdrawal yet —
+    silently admitting the beacon would resurrect the dead path, silently
+    dropping it would leave the sender ignorant.  Instead the cached
+    revocation is re-originated (re-sent) toward the sender, closing the
+    information gap.  Returns ``True`` when the beacon was bounced (the
+    caller must not admit it).
+
+    Callers should guard the call with a cheap emptiness check on
+    ``service.revocations.revoked_links`` / ``revoked_ases`` so the common
+    no-revocations path stays allocation- and call-free.
+    """
+    state: RevocationState = service.revocations
+    if not state.revoked_links and not state.revoked_ases:
+        return False
+    message = state.revoked_recently(beacon.links(), beacon.as_path(), now_ms)
+    if message is None:
+        return False
+    state.reoriginated += 1
+    if on_interface is not None:
+        service.transport.send_message(service.as_id, on_interface, message)
+    return True
 
 
 def handle_revocation(

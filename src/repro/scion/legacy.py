@@ -40,6 +40,7 @@ from repro.core.messages import ControlMessage
 from repro.core.revocation import (
     RevocationMessage,
     RevocationState,
+    bounce_if_revoked as _bounce_if_revoked,
     handle_revocation as _handle_revocation,
     originate_revocation as _originate_revocation,
 )
@@ -128,7 +129,17 @@ class LegacyControlService:
         return dispatch_batch(self, entries, now_ms)
 
     def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
-        """Handle a PCB delivered by a neighbouring AS."""
+        """Handle a PCB delivered by a neighbouring AS.
+
+        Shares the IREC service's negative caching: a beacon crossing an
+        element withdrawn inside the dedup window bounces the cached
+        revocation back to the sender instead of being admitted.
+        """
+        revocations = self.revocations
+        if (
+            revocations.revoked_links or revocations.revoked_ases
+        ) and _bounce_if_revoked(self, beacon, on_interface, now_ms):
+            return False
         return self.ingress.receive(beacon, on_interface=on_interface, now_ms=now_ms)
 
     def receive_returned_beacon(self, beacon: Beacon, now_ms: float) -> None:

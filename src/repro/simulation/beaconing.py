@@ -40,11 +40,13 @@ from repro.simulation.engine import EventScheduler
 from repro.simulation.events import (
     ASJoin,
     ASLeave,
+    BeaconFlood,
     BeaconPeriodChange,
     LinkFailure,
     LinkRecovery,
     PolicySwap,
     RACSwap,
+    ServiceRateChange,
     TimedEvent,
 )
 from repro.simulation.failures import LinkState
@@ -100,6 +102,11 @@ class BeaconingSimulation:
         self.collector = MetricsCollector(period_ms=scenario.propagation_interval_ms)
         self.link_state = LinkState()
         self.convergence = ConvergenceCollector()
+        for as_id in scenario.inbox_profiles:
+            if as_id not in topology:
+                raise ConfigurationError(
+                    f"inbox_profiles targets unknown AS {as_id}"
+                )
         self.transport = SimulatedTransport(
             topology=topology,
             scheduler=self.scheduler,
@@ -107,6 +114,8 @@ class BeaconingSimulation:
             processing_delay_ms=scenario.processing_delay_ms,
             link_state=self.link_state,
             batch_size=scenario.inbox_batch_size,
+            inbox_profile=scenario.inbox_profile,
+            inbox_profiles=dict(scenario.inbox_profiles),
         )
         self.services: Dict[int, AnyControlService] = {}
         self.orchestrators: List[PullBasedDisjointnessOrchestrator] = []
@@ -127,6 +136,18 @@ class BeaconingSimulation:
         self._next_period_start_ms = 0.0
         self._horizon_reached = False
         self._deferred_events: List[TimedEvent] = []
+        #: Failures queued by same-tick events for aggregated revocation
+        #: origination: one flush per tick batches co-owned failures into
+        #: multi-element messages (one flood per origin, not per element).
+        self._pending_failed_links: List[Tuple] = []
+        self._pending_failed_ases: List[int] = []
+        #: time_ms → scheduled timeline events not yet applied at that
+        #: time; the flush runs when the last same-time event finishes.
+        self._scheduled_event_counts: Dict[float, int] = {}
+        self._applying_deferred = False
+        #: (dropped, marked, deferred) totals at the last period boundary,
+        #: for per-period overload trace deltas.
+        self._overload_snapshot = (0, 0, 0)
         #: Per-AS deployed RAC specs, kept in sync by RACSwap so a churned
         #: AS can be cold-restarted with its *current* deployment.
         self._deployed_specs: Dict[int, Dict[str, AlgorithmSpec]] = {}
@@ -206,7 +227,7 @@ class BeaconingSimulation:
         left) raise :class:`~repro.exceptions.ConfigurationError` here
         instead of silently no-opping mid-run.
         """
-        self.scenario.timeline.validate()
+        self.scenario.timeline.validate(self.topology)
         for timed in self.scenario.timeline:
             link_kinds = (LinkFailure, LinkRecovery)
             if isinstance(timed.event, link_kinds) and timed.event.link_id not in self.topology.links:
@@ -223,6 +244,9 @@ class BeaconingSimulation:
                         raise SimulationError(
                             f"timeline event {timed.trace_label()!r} targets unknown AS {as_id}"
                         )
+            self._scheduled_event_counts[timed.time_ms] = (
+                self._scheduled_event_counts.get(timed.time_ms, 0) + 1
+            )
             self.scheduler.schedule_at(
                 timed.time_ms,
                 lambda now_ms, _timed=timed: self._apply_event(_timed, now_ms),
@@ -319,23 +343,44 @@ class BeaconingSimulation:
             # dropped, so a later run() continuing the simulation still
             # applies them (at the start of its first period).
             self._deferred_events.append(timed)
+            self._finish_event(timed, now_ms)
             return
         before = self._watched_counts()
         event = timed.event
         if isinstance(event, LinkFailure):
             self.link_state.fail_link(event.link_id)
-            self._originate_revocations(failed_link=event.link_id)
+            self._queue_revocations(failed_link=event.link_id)
         elif isinstance(event, LinkRecovery):
             self.link_state.restore_link(event.link_id)
+            # The element is alive again: every service forgets its
+            # negative-cache entry so fresh beacons over it are admitted
+            # instead of bounced.
+            for service in self._services_in_order():
+                service.revocations.clear_revoked_link(event.link_id)
         elif isinstance(event, ASLeave):
             self.link_state.set_as_offline(event.as_id)
             # The departing AS restarts cold; its neighbours detect the
             # loss and originate revocations, so everyone *reachable*
             # withdraws state crossing it as the flood arrives.
             self._cold_restart(self.services[event.as_id])
-            self._originate_revocations(failed_as=event.as_id)
+            self._queue_revocations(failed_as=event.as_id)
         elif isinstance(event, ASJoin):
             self.link_state.set_as_online(event.as_id)
+            for service in self._services_in_order():
+                service.revocations.clear_revoked_as(event.as_id)
+        elif isinstance(event, ServiceRateChange):
+            targets = (
+                sorted(event.as_ids)
+                if event.as_ids is not None
+                else sorted(self.services)
+            )
+            for as_id in targets:
+                self.transport.set_inbox_budget(as_id, event.budget_per_tick)
+        elif isinstance(event, BeaconFlood):
+            if self.link_state.is_as_up(event.attacker_as):
+                attacker = self.services[event.attacker_as]
+                for _ in range(event.bursts):
+                    attacker.originate(now_ms=now_ms)
         elif isinstance(event, PolicySwap):
             # Both service flavours expose set_policies (the legacy ingress
             # gateway honours admission policies too).
@@ -378,6 +423,27 @@ class BeaconingSimulation:
         )
         for listener in self.event_listeners:
             listener(event, now_ms)
+        self._finish_event(timed, now_ms)
+
+    def _finish_event(self, timed: TimedEvent, now_ms: float) -> None:
+        """Flush queued revocations once the tick's last event has applied.
+
+        The flush must run before any *other* same-time scheduler callback
+        (traffic rounds, drains) observes the failures, so it happens
+        synchronously here — once the per-time counter built by
+        :meth:`_schedule_timeline` says no further timeline event shares
+        this timestamp.  During a deferred-event replay the caller
+        (:meth:`run_period`) flushes once after the whole batch instead.
+        """
+        remaining = self._scheduled_event_counts.get(timed.time_ms, 1) - 1
+        if remaining > 0:
+            self._scheduled_event_counts[timed.time_ms] = remaining
+            return
+        self._scheduled_event_counts.pop(timed.time_ms, None)
+        if self._applying_deferred:
+            return
+        if self._pending_failed_links or self._pending_failed_ases:
+            self._flush_revocations(now_ms)
 
     def _cold_restart(self, service: AnyControlService) -> None:
         """Wipe a departing AS's volatile control-plane state.
@@ -404,31 +470,53 @@ class BeaconingSimulation:
                 raise UnknownASError(as_id)
         return [self.services[as_id] for as_id in sorted(as_ids)]
 
-    def _originate_revocations(
+    def _queue_revocations(
         self, failed_link: Optional[Tuple] = None, failed_as: Optional[int] = None
     ) -> None:
-        """Have the ASes adjacent to a failure originate revocation messages.
+        """Queue a failure for aggregated revocation origination.
 
-        The endpoints of a failed link (or the neighbours of a departed AS)
-        detect the failure locally: each originates one signed
-        :class:`~repro.core.revocation.RevocationMessage`, withdraws its own
-        state immediately and floods the message hop-by-hop through the
-        transport.  Every other AS withdraws when (and if) a copy arrives —
-        replacing the old instantaneous counter flood with real,
-        propagation-limited control-plane traffic.
+        Failures are not revoked one message per element: every failure of
+        the current scheduler tick is collected, and one flush — run by
+        :meth:`_finish_event` after the tick's last timeline event — has
+        each adjacent AS originate a single
+        :class:`~repro.core.revocation.RevocationMessage` batching *all*
+        the elements it detected.  A revocation storm of N simultaneous
+        failures therefore costs each origin one flood, not N.
         """
         if failed_link is not None:
-            (as_a, _if_a), (as_b, _if_b) = failed_link
-            origins = sorted({as_a, as_b})
-        else:
-            origins = list(self.topology.neighbors(failed_as))
-        for as_id in origins:
+            self._pending_failed_links.append(failed_link)
+        if failed_as is not None:
+            self._pending_failed_ases.append(failed_as)
+
+    def _flush_revocations(self, now_ms: float) -> None:
+        """Originate the queued failures' revocations, one message per origin.
+
+        The endpoints of each failed link (and the neighbours of each
+        departed AS) detect those failures locally: each origin withdraws
+        its own state immediately and floods one signed message naming
+        every element it detected this tick, hop-by-hop through the
+        transport.  Every other AS withdraws when (and if) a copy arrives
+        — replacing the old instantaneous counter flood with real,
+        propagation-limited control-plane traffic.
+        """
+        failed_links, self._pending_failed_links = self._pending_failed_links, []
+        failed_ases, self._pending_failed_ases = self._pending_failed_ases, []
+        per_origin: Dict[int, Tuple[List[Tuple], List[int]]] = {}
+        for link in failed_links:
+            (as_a, _if_a), (as_b, _if_b) = link
+            for as_id in sorted({as_a, as_b}):
+                per_origin.setdefault(as_id, ([], []))[0].append(link)
+        for gone_as in failed_ases:
+            for as_id in self.topology.neighbors(gone_as):
+                per_origin.setdefault(as_id, ([], []))[1].append(gone_as)
+        for as_id in sorted(per_origin):
             if not self.link_state.is_as_up(as_id):
                 continue
+            links, ases = per_origin[as_id]
             self.services[as_id].originate_revocation(
-                now_ms=self.scheduler.now_ms,
-                failed_link=failed_link,
-                failed_as=failed_as,
+                now_ms=now_ms,
+                failed_links=tuple(links),
+                failed_ases=tuple(ases),
             )
 
     def add_revocation_listener(self, listener) -> None:
@@ -472,8 +560,14 @@ class BeaconingSimulation:
             # Events deferred by a previous run()'s flush apply now, at the
             # first instant a period can observe them.
             deferred, self._deferred_events = self._deferred_events, []
-            for timed in deferred:
-                self._apply_event(timed, self.scheduler.now_ms)
+            self._applying_deferred = True
+            try:
+                for timed in deferred:
+                    self._apply_event(timed, self.scheduler.now_ms)
+            finally:
+                self._applying_deferred = False
+            if self._pending_failed_links or self._pending_failed_ases:
+                self._flush_revocations(self.scheduler.now_ms)
         for service in self._services_in_order():
             if self.link_state.is_as_up(service.as_id):
                 service.originate(now_ms=self.scheduler.now_ms)
@@ -505,6 +599,23 @@ class BeaconingSimulation:
                     pair: self._usable_registration_times(*pair)
                     for pair in self.watched_pairs
                 },
+            )
+
+        snapshot = (
+            self.collector.inbox_dropped_total(),
+            self.collector.inbox_marked_total(),
+            self.collector.inbox_deferred_total(),
+        )
+        if snapshot != self._overload_snapshot:
+            previous = self._overload_snapshot
+            self._overload_snapshot = snapshot
+            # Only overloaded periods emit a trace line, so unlimited runs
+            # (the PR-5 default) keep a bit-identical golden trace.
+            self.convergence.on_overload(
+                self.scheduler.now_ms,
+                dropped=snapshot[0] - previous[0],
+                marked=snapshot[1] - previous[1],
+                deferred=snapshot[2] - previous[2],
             )
 
         self.round_reports.extend(reports)

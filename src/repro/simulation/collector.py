@@ -44,6 +44,11 @@ class MetricsCollector:
     revocations_dropped: int = 0
     total_registrations: int = 0
     registrations_dropped: int = 0
+    inbox_dropped: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    inbox_marked: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    inbox_deferred: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _queue_high_water: Dict[int, int] = field(default_factory=dict)
+    _queue_delays: List[float] = field(default_factory=list)
 
     def record_send(self, sender_as: int, interface_id: int, time_ms: float) -> None:
         """Record one PCB transmission."""
@@ -94,6 +99,30 @@ class MetricsCollector:
     def record_registration_drop(self, time_ms: float) -> None:
         """Record one path-registration message lost on an unavailable link."""
         self.registrations_dropped += 1
+
+    # ------------------------------------------------------------------
+    # overload accounting (bounded, rate-limited inboxes — PR 6)
+    # ------------------------------------------------------------------
+    def record_inbox_drop(self, as_id: int, kind: str, time_ms: float) -> None:
+        """Record one message tail-dropped by a full bounded inbox."""
+        self.inbox_dropped[kind] += 1
+
+    def record_inbox_mark(self, as_id: int, kind: str, time_ms: float) -> None:
+        """Record one message congestion-marked instead of dropped."""
+        self.inbox_marked[kind] += 1
+
+    def record_inbox_deferral(self, as_id: int, kind: str, time_ms: float) -> None:
+        """Record one message serviced later than the tick it arrived on."""
+        self.inbox_deferred[kind] += 1
+
+    def record_queue_depth(self, as_id: int, depth: int) -> None:
+        """Track the per-AS inbox queue-depth high-water mark."""
+        if depth > self._queue_high_water.get(as_id, 0):
+            self._queue_high_water[as_id] = depth
+
+    def record_queue_delay(self, as_id: int, delay_ms: float) -> None:
+        """Record one serviced message's queueing delay."""
+        self._queue_delays.append(delay_ms)
 
     # ------------------------------------------------------------------
     # queries
@@ -151,6 +180,41 @@ class MetricsCollector:
             + self.total_registrations
         )
 
+    def inbox_dropped_total(self) -> int:
+        """Return messages tail-dropped by bounded inboxes, all kinds."""
+        return sum(self.inbox_dropped.values())
+
+    def inbox_marked_total(self) -> int:
+        """Return messages congestion-marked by bounded inboxes, all kinds."""
+        return sum(self.inbox_marked.values())
+
+    def inbox_deferred_total(self) -> int:
+        """Return messages serviced after their arrival tick, all kinds."""
+        return sum(self.inbox_deferred.values())
+
+    def queue_high_water(self, as_id: int) -> int:
+        """Return the deepest inbox queue observed at ``as_id``."""
+        return self._queue_high_water.get(as_id, 0)
+
+    def queue_high_water_marks(self) -> Dict[int, int]:
+        """Return the per-AS inbox queue-depth high-water marks."""
+        return dict(self._queue_high_water)
+
+    def queue_delay_stats(self) -> Dict[str, float]:
+        """Return count/mean/max/p50/p99 of recorded queueing delays (ms)."""
+        delays = self._queue_delays
+        if not delays:
+            return {"count": 0, "mean": 0.0, "max": 0.0, "p50": 0.0, "p99": 0.0}
+        ordered = sorted(delays)
+        count = len(ordered)
+        return {
+            "count": count,
+            "mean": sum(ordered) / count,
+            "max": ordered[-1],
+            "p50": ordered[min(count - 1, int(0.50 * count))],
+            "p99": ordered[min(count - 1, int(0.99 * count))],
+        }
+
     def reset(self) -> None:
         """Zero all counters."""
         self._counts.clear()
@@ -164,6 +228,11 @@ class MetricsCollector:
         self.revocations_dropped = 0
         self.total_registrations = 0
         self.registrations_dropped = 0
+        self.inbox_dropped.clear()
+        self.inbox_marked.clear()
+        self.inbox_deferred.clear()
+        self._queue_high_water.clear()
+        self._queue_delays.clear()
 
 
 @dataclass
@@ -361,6 +430,20 @@ class ConvergenceCollector:
                     f"{recovered_at:.3f} recover ({source_as},{destination_as}) "
                     f"paths={usable} ttr={record.time_to_recovery_ms:.3f}"
                 )
+
+    def on_overload(
+        self, now_ms: float, dropped: int, marked: int, deferred: int
+    ) -> None:
+        """Record one period's inbox-overload deltas in the trace.
+
+        The driver calls this at a period end only when at least one delta
+        is nonzero, so unlimited runs (the PR-5 default) never emit these
+        lines and the golden trace is unchanged.
+        """
+        self.trace.append(
+            f"{now_ms:.3f} overload dropped={dropped} marked={marked} "
+            f"deferred={deferred}"
+        )
 
     # ------------------------------------------------------------------
     # queries

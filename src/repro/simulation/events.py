@@ -6,7 +6,9 @@ and operator activity.  This module provides the vocabulary to script that
 dynamism:
 
 * **typed events** — link failure/recovery, AS leave/join (churn), per-AS
-  admission-policy swaps, RAC hot-swaps and beaconing-period changes,
+  admission-policy swaps, RAC hot-swaps, beaconing-period changes, and
+  the overload family (PR 6): inbox service-rate changes and beacon-flood
+  DoS bursts,
 * a **timeline** of ``(time, event)`` pairs attached to a scenario and
   executed by the beaconing driver through its discrete-event scheduler
   (so an event scheduled mid-period really interrupts propagation), and
@@ -174,6 +176,60 @@ class BeaconPeriodChange(ScenarioEvent):
 
 
 @dataclass(frozen=True)
+class ServiceRateChange(ScenarioEvent):
+    """Change the per-tick inbox service budget of one or more ASes.
+
+    Hot-swaps the rate limit of the targeted ASes' bounded inboxes (see
+    :class:`repro.simulation.network.InboxProfile`): ``budget_per_tick``
+    messages are serviced per round, the rest queues.  ``None`` restores
+    the unlimited default (the whole backlog drains promptly).  This is
+    the timeline handle for slow-AS stragglers and operator rate-limit
+    interventions.
+
+    Attributes:
+        budget_per_tick: New per-round budget (``>= 1``), or ``None`` for
+            unlimited.
+        as_ids: ASes to reconfigure; ``None`` means every AS.
+    """
+
+    budget_per_tick: Optional[int] = None
+    as_ids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.budget_per_tick is not None and self.budget_per_tick < 1:
+            raise ConfigurationError(
+                f"budget_per_tick must be None or >= 1, got {self.budget_per_tick}"
+            )
+
+    def trace_label(self) -> str:
+        budget = "inf" if self.budget_per_tick is None else str(self.budget_per_tick)
+        scope = "all" if self.as_ids is None else ",".join(str(a) for a in self.as_ids)
+        return f"service_rate {budget} @ {scope}"
+
+
+@dataclass(frozen=True)
+class BeaconFlood(ScenarioEvent):
+    """A designated AS floods a burst of beacon originations (DoS).
+
+    The attacker AS originates ``bursts`` extra rounds of PCBs at the
+    event time — on top of its regular period originations — pressuring
+    every downstream inbox.  With bounded inboxes the flood manifests as
+    queue growth, deferrals and drops; with the unlimited default it only
+    inflates message counts.
+    """
+
+    attacker_as: int
+    bursts: int = 10
+
+    def __post_init__(self) -> None:
+        if self.bursts < 1:
+            raise ConfigurationError(f"bursts must be >= 1, got {self.bursts}")
+
+    def trace_label(self) -> str:
+        return f"beacon_flood {self.attacker_as} x{self.bursts}"
+
+
+@dataclass(frozen=True)
 class TimedEvent:
     """One scenario event pinned to an absolute simulated time."""
 
@@ -227,7 +283,7 @@ class ScenarioTimeline:
         """Return the timed events in insertion order."""
         return tuple(self._events)
 
-    def validate(self) -> None:
+    def validate(self, topology: Optional[Topology] = None) -> None:
         """Reject schedules that would silently no-op when executed.
 
         Replays the timeline in execution order (time, then insertion
@@ -238,10 +294,17 @@ class ScenarioTimeline:
         (``LinkState`` discards unknown keys), which hid scheduling
         mistakes like a recovery firing before its failure or a mistyped
         link id.  Negative event times are already rejected at
-        :class:`TimedEvent` construction.
+        :class:`TimedEvent` construction, non-positive
+        :class:`ServiceRateChange` budgets at event construction.
 
-        The beaconing driver calls this before scheduling the timeline;
-        call it directly to check a hand-built timeline early.
+        When ``topology`` is given, :class:`ServiceRateChange` targets and
+        :class:`BeaconFlood` attackers must be member ASes — a rate limit
+        or flood aimed at an unknown AS would otherwise silently do
+        nothing.
+
+        The beaconing driver calls this (with its topology) before
+        scheduling the timeline; call it directly to check a hand-built
+        timeline early.
         """
         failed: set = set()
         offline: set = set()
@@ -268,6 +331,25 @@ class ScenarioTimeline:
                         "earlier leave of the same AS"
                     )
                 offline.discard(event.as_id)
+            elif isinstance(event, ServiceRateChange):
+                if event.budget_per_tick is not None and event.budget_per_tick < 1:
+                    raise ConfigurationError(
+                        f"timeline event {timed.trace_label()!r} sets a "
+                        f"non-positive budget {event.budget_per_tick}"
+                    )
+                if topology is not None and event.as_ids is not None:
+                    for as_id in event.as_ids:
+                        if as_id not in topology:
+                            raise ConfigurationError(
+                                f"timeline event {timed.trace_label()!r} targets "
+                                f"unknown AS {as_id}"
+                            )
+            elif isinstance(event, BeaconFlood):
+                if topology is not None and event.attacker_as not in topology:
+                    raise ConfigurationError(
+                        f"timeline event {timed.trace_label()!r} floods from "
+                        f"unknown AS {event.attacker_as}"
+                    )
 
     def __len__(self) -> int:
         return len(self._events)
@@ -341,6 +423,29 @@ class TimelineCursor:
         """Change the beaconing period for subsequent periods."""
         return self._add(BeaconPeriodChange(interval_ms=interval_ms))
 
+    def set_service_rate(
+        self,
+        budget_per_tick: Optional[int],
+        as_ids: Optional[Sequence[int]] = None,
+    ) -> "TimelineCursor":
+        """Change the inbox service budget at ``as_ids`` (default: all)."""
+        return self._add(
+            ServiceRateChange(
+                budget_per_tick=budget_per_tick,
+                as_ids=tuple(as_ids) if as_ids is not None else None,
+            )
+        )
+
+    def flood_beacons(self, attacker_as: int, bursts: int = 10) -> "TimelineCursor":
+        """Flood ``bursts`` extra origination rounds from ``attacker_as``."""
+        return self._add(BeaconFlood(attacker_as=attacker_as, bursts=bursts))
+
+    def slow_as(self, as_id: int, budget_per_tick: int = 1) -> "TimelineCursor":
+        """Turn one AS into a straggler with a tiny service budget."""
+        return self._add(
+            ServiceRateChange(budget_per_tick=budget_per_tick, as_ids=(as_id,))
+        )
+
 
 # ----------------------------------------------------------------------
 # seeded random event generators
@@ -382,6 +487,86 @@ def random_link_failures(
                 )
             )
     return events
+
+
+def revocation_storm(
+    topology: Topology,
+    count: int,
+    rng: random.Random,
+    at_ms: float,
+    recovery_after_ms: Optional[float] = None,
+    candidates: Optional[Sequence[LinkID]] = None,
+) -> List[TimedEvent]:
+    """Generate a revocation storm: ``count`` links fail *simultaneously*.
+
+    Every failure fires at the same ``at_ms``, so the driver's
+    per-originator aggregation batches co-owned failures into
+    multi-element revocations and every inbox sees the storm as one
+    burst.  With bounded inboxes the burst exceeds per-tick budgets and
+    withdrawal times spread out load-dependently; with the unlimited
+    default the storm converges within the tick.
+    """
+    return random_link_failures(
+        topology,
+        count,
+        rng,
+        start_ms=at_ms,
+        spacing_ms=0.0,
+        recovery_after_ms=recovery_after_ms,
+        candidates=candidates,
+    )
+
+
+def slow_as_stragglers(
+    as_ids: Sequence[int],
+    budget_per_tick: int,
+    start_ms: float,
+    duration_ms: Optional[float] = None,
+) -> List[TimedEvent]:
+    """Generate straggler events: the given ASes slow to a tiny budget.
+
+    Each AS's inbox budget drops to ``budget_per_tick`` at ``start_ms``;
+    when ``duration_ms`` is given the unlimited default is restored that
+    much later (the accumulated backlog then drains promptly).
+    """
+    targets = tuple(int(a) for a in as_ids)
+    events: List[TimedEvent] = [
+        TimedEvent(
+            time_ms=start_ms,
+            event=ServiceRateChange(budget_per_tick=budget_per_tick, as_ids=targets),
+        )
+    ]
+    if duration_ms is not None:
+        events.append(
+            TimedEvent(
+                time_ms=start_ms + duration_ms,
+                event=ServiceRateChange(budget_per_tick=None, as_ids=targets),
+            )
+        )
+    return events
+
+
+def beacon_flood_dos(
+    attacker_as: int,
+    start_ms: float,
+    bursts: int = 10,
+    waves: int = 1,
+    spacing_ms: float = 0.0,
+) -> List[TimedEvent]:
+    """Generate a beacon-flood DoS: ``waves`` bursts from one attacker.
+
+    Each wave fires ``bursts`` extra origination rounds; waves are spaced
+    ``spacing_ms`` apart (0 collapses them into one same-time volley).
+    """
+    if waves < 1:
+        raise ConfigurationError(f"waves must be >= 1, got {waves}")
+    return [
+        TimedEvent(
+            time_ms=start_ms + index * spacing_ms,
+            event=BeaconFlood(attacker_as=attacker_as, bursts=bursts),
+        )
+        for index in range(waves)
+    ]
 
 
 def random_churn(

@@ -24,6 +24,19 @@ Returned pull beacons travel back to their origin with the accumulated
 latency of the path they describe, and algorithm fetches cost one round
 trip over that same path; both predate the fabric and keep their
 path-travel (not link-routed) delivery.
+
+Overload (PR 6): every inbox can additionally carry an
+:class:`InboxProfile` — a per-service-round message **budget**, a bounded
+**capacity** with a tail-drop or ECN-style mark overflow policy, and a
+**service interval** — turning the previously infinite-rate control plane
+into a queueing system: messages beyond the budget are deferred to later
+service rounds (their handlers run at the *service* time, so withdrawal
+``applied_at`` timestamps become load-dependent), revocations preempt
+queued PCBs/registrations, and the collector records drops, marks,
+deferrals, per-AS queue-depth high-water marks and the queueing-delay
+distribution.  The default profile (no budget, no capacity) takes exactly
+the pre-overload code path, which is what keeps the PR-5 golden traces
+bit-identical.
 """
 
 from __future__ import annotations
@@ -46,22 +59,117 @@ from repro.simulation.failures import LinkState
 from repro.topology.graph import Topology
 
 
+@dataclass(frozen=True)
+class InboxProfile:
+    """Service-rate model and bounds of one per-AS control-plane inbox.
+
+    The default profile (all fields at their defaults) is the infinite
+    service rate + unbounded queue the fabric always had; any deviation
+    switches the inbox onto the queueing path.
+
+    Attributes:
+        budget_per_tick: Maximum messages serviced per service round.
+            ``None`` (the default) services everything at the arrival
+            tick — the PR-5 behaviour.  With a finite budget, surplus
+            messages carry over to the next round ``service_interval_ms``
+            later, so their handlers (and ``applied_at`` withdrawal
+            timestamps) run at the time they were actually serviced.
+        capacity: Maximum queued messages (pending + deferred).  ``None``
+            is unbounded; with a bound, deliveries into a full queue hit
+            :attr:`overflow_policy`.
+        overflow_policy: ``"drop"`` tail-drops the arriving message;
+            ``"mark"`` delivers it anyway but stamps it congestion-marked
+            (ECN-style) and counts the mark.
+        service_interval_ms: Gap between service rounds while a backlog
+            exists — the time one unit of queueing delay costs.
+    """
+
+    budget_per_tick: Optional[int] = None
+    capacity: Optional[int] = None
+    overflow_policy: str = "drop"
+    service_interval_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.budget_per_tick is not None and self.budget_per_tick < 1:
+            raise ConfigurationError(
+                f"budget_per_tick must be None or >= 1, got {self.budget_per_tick}"
+            )
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be None or >= 1, got {self.capacity}"
+            )
+        if self.overflow_policy not in ("drop", "mark"):
+            raise ConfigurationError(
+                f"overflow_policy must be 'drop' or 'mark', got {self.overflow_policy!r}"
+            )
+        if self.service_interval_ms <= 0:
+            raise ConfigurationError(
+                f"service_interval_ms must be positive, got {self.service_interval_ms}"
+            )
+
+    @property
+    def limited(self) -> bool:
+        """Return whether this profile deviates from the unlimited default."""
+        return self.budget_per_tick is not None or self.capacity is not None
+
+
 class _Inbox:
     """One AS's pending delivered-but-undrained messages.
 
     A plain slotted class on the delivery fast path: every message pays
-    one append here, and floods push millions of them.
+    one append here, and floods push millions of them.  The queue-model
+    fields default to the unlimited profile; the delivery and drain fast
+    paths branch on :attr:`limited` / :attr:`budget` exactly once, so the
+    default configuration costs one attribute check over PR 5.
     """
 
-    __slots__ = ("entries", "drain_scheduled", "draining")
+    __slots__ = (
+        "entries",
+        "drain_scheduled",
+        "draining",
+        "limited",
+        "budget",
+        "capacity",
+        "mark_overflow",
+        "service_interval_ms",
+        "arrivals",
+        "deferred",
+    )
 
     def __init__(self) -> None:
         #: (message, arrival_interface) in arrival order.
         self.entries: List[Tuple[ControlMessage, int]] = []
-        #: Whether a drain event is already queued for this inbox.
+        #: Whether a drain/service event is already queued for this inbox.
         self.drain_scheduled = False
         #: Re-entrancy guard for synchronous (immediate) drains.
         self.draining = False
+        #: Whether any queue bound applies (single fast-path branch flag).
+        self.limited = False
+        #: Messages serviced per round (``None``: everything, at arrival).
+        self.budget: Optional[int] = None
+        #: Maximum queued messages (``None``: unbounded).
+        self.capacity: Optional[int] = None
+        #: Overflow policy: ``True`` marks-and-delivers, ``False`` drops.
+        self.mark_overflow = False
+        #: Gap between service rounds while a backlog exists.
+        self.service_interval_ms = 1.0
+        #: Arrival times parallel to :attr:`entries` (finite budget only).
+        self.arrivals: List[float] = []
+        #: (message, interface, arrival_ms) carried over from earlier
+        #: service rounds, in service priority order.
+        self.deferred: List[Tuple[ControlMessage, int, float]] = []
+
+    def apply_profile(self, profile: InboxProfile) -> None:
+        """Adopt ``profile``'s queue model (hot-swappable mid-run)."""
+        self.budget = profile.budget_per_tick
+        self.capacity = profile.capacity
+        self.mark_overflow = profile.overflow_policy == "mark"
+        self.service_interval_ms = profile.service_interval_ms
+        self.limited = profile.limited
+
+    def queued(self) -> int:
+        """Return how many messages are waiting (pending + deferred)."""
+        return len(self.entries) + len(self.deferred)
 
 
 @dataclass
@@ -86,6 +194,9 @@ class SimulatedTransport:
             drain.  ``None`` (the default) drains everything pending at
             the tick; ``1`` is per-message delivery, the behavioural
             reference the equivalence tests compare against.
+        inbox_profile: Default :class:`InboxProfile` applied to every
+            registered AS's inbox.  ``None`` keeps the unlimited default.
+        inbox_profiles: Per-AS profile overrides (AS id → profile).
     """
 
     topology: Topology
@@ -95,6 +206,8 @@ class SimulatedTransport:
     deliver_immediately: bool = False
     link_state: Optional[LinkState] = None
     batch_size: Optional[int] = None
+    inbox_profile: Optional[InboxProfile] = None
+    inbox_profiles: Dict[int, InboxProfile] = field(default_factory=dict)
     services: Dict[int, object] = field(default_factory=dict)
     _inboxes: Dict[int, _Inbox] = field(default_factory=dict)
     _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
@@ -113,16 +226,79 @@ class SimulatedTransport:
             raise ConfigurationError(
                 f"batch_size must be None or >= 1, got {self.batch_size}"
             )
+        for profile in (self.inbox_profile, *self.inbox_profiles.values()):
+            if (
+                profile is not None
+                and profile.budget_per_tick is not None
+                and self.deliver_immediately
+            ):
+                raise ConfigurationError(
+                    "finite inbox budgets need the scheduler to pace service "
+                    "rounds; they are incompatible with deliver_immediately"
+                )
 
     def register(self, service: object) -> None:
         """Register a control service under its AS identifier."""
         as_id = service.as_id
         self.services[as_id] = service
-        self._inboxes[as_id] = _Inbox()
+        inbox = _Inbox()
+        profile = self.inbox_profiles.get(as_id, self.inbox_profile)
+        if profile is not None:
+            inbox.apply_profile(profile)
+        self._inboxes[as_id] = inbox
         self._drain_callbacks[as_id] = (
             lambda now_ms, _as_id=as_id: self._drain(_as_id, now_ms)
         )
         self._routes.clear()  # routes close over inboxes; rebuild lazily
+
+    def configure_inbox(self, as_id: int, profile: InboxProfile) -> None:
+        """Hot-swap the queue model of ``as_id``'s inbox mid-run.
+
+        Backbone of the :class:`~repro.simulation.events.ServiceRateChange`
+        timeline event.  Switching to an infinite service rate re-queues
+        any deferred backlog for a prompt unlimited drain (the slow AS
+        caught up); switching to a finite one starts deferring from the
+        next service round on.
+        """
+        inbox = self._inboxes.get(as_id)
+        if inbox is None:
+            raise UnknownASError(as_id)
+        if profile.budget_per_tick is not None and self.deliver_immediately:
+            raise ConfigurationError(
+                "finite inbox budgets are incompatible with deliver_immediately"
+            )
+        inbox.apply_profile(profile)
+        if inbox.budget is None:
+            inbox.arrivals = []
+            if inbox.deferred:
+                inbox.entries[0:0] = [
+                    (message, interface) for message, interface, _arrival in inbox.deferred
+                ]
+                inbox.deferred = []
+            if inbox.entries:
+                # Schedule a prompt drain even if a service round is
+                # already pending: that round sits a full (stale) service
+                # interval out, and a duplicate drain of an empty inbox
+                # is a no-op.
+                inbox.drain_scheduled = True
+                self.scheduler.schedule_at(
+                    self.scheduler.now_ms, self._drain_callbacks[as_id]
+                )
+
+    def set_inbox_budget(self, as_id: int, budget_per_tick: Optional[int]) -> None:
+        """Change only the service-rate budget of ``as_id``'s inbox."""
+        inbox = self._inboxes.get(as_id)
+        if inbox is None:
+            raise UnknownASError(as_id)
+        self.configure_inbox(
+            as_id,
+            InboxProfile(
+                budget_per_tick=budget_per_tick,
+                capacity=inbox.capacity,
+                overflow_policy="mark" if inbox.mark_overflow else "drop",
+                service_interval_ms=inbox.service_interval_ms,
+            ),
+        )
 
     def service_of(self, as_id: int) -> object:
         """Return the registered control service of ``as_id``."""
@@ -215,6 +391,26 @@ class SimulatedTransport:
                     return
             if _track:
                 _message = _message.with_hop(_remote_as)
+            if _inbox.limited:
+                # Queue model: bounded capacity (tail-drop or ECN mark at
+                # delivery) and queue-depth high-water tracking.  The
+                # unlimited default never enters this branch, keeping the
+                # PR-5 fast path at one flag check per delivery.
+                depth = len(_inbox.entries) + len(_inbox.deferred)
+                if _inbox.capacity is not None and depth >= _inbox.capacity:
+                    if _inbox.mark_overflow:
+                        self.collector.record_inbox_mark(
+                            _remote_as, _message.kind, now_ms
+                        )
+                        _message = _message.with_congestion_mark()
+                    else:
+                        self.collector.record_inbox_drop(
+                            _remote_as, _message.kind, now_ms
+                        )
+                        return
+                self.collector.record_queue_depth(_remote_as, depth + 1)
+                if _inbox.budget is not None:
+                    _inbox.arrivals.append(now_ms)
             _inbox.entries.append((_message, _interface))
             if self.deliver_immediately:
                 # Synchronous mode: drain right away unless a drain higher
@@ -245,7 +441,12 @@ class SimulatedTransport:
         """
         inbox = self._inboxes[as_id]
         inbox.drain_scheduled = False
-        if inbox.draining or not inbox.entries:
+        if inbox.draining:
+            return
+        if inbox.budget is not None:
+            self._drain_limited(as_id, inbox, now_ms)
+            return
+        if not inbox.entries:
             return
         service = self.services[as_id]
         inbox.draining = True
@@ -268,10 +469,82 @@ class SimulatedTransport:
         finally:
             inbox.draining = False
 
+    def _drain_limited(self, as_id: int, inbox: _Inbox, now_ms: float) -> None:
+        """Service round for a rate-limited inbox.
+
+        At most ``budget`` messages are handed to the control service per
+        round; the remainder carries over as the deferred backlog and a
+        follow-up round is scheduled ``service_interval_ms`` later.  When
+        the pending queue exceeds the budget, revocations are serviced
+        before queued PCBs/registrations (stable within each class).
+        Every message serviced later than it arrived counts as deferred
+        and contributes its queueing delay to the collector.
+        """
+        if inbox.entries:
+            fresh = inbox.entries
+            inbox.entries = []
+            arrivals = inbox.arrivals
+            inbox.arrivals = []
+            # Arrivals can be shorter than entries after a hot swap from
+            # unlimited to limited mid-tick; pad with "now".
+            for index, (message, interface) in enumerate(fresh):
+                arrival = arrivals[index] if index < len(arrivals) else now_ms
+                inbox.deferred.append((message, interface, arrival))
+        pending = inbox.deferred
+        if not pending:
+            return
+        budget = inbox.budget
+        if budget is not None and len(pending) > budget:
+            urgent = [item for item in pending if item[0].kind == "revocation"]
+            if urgent and len(urgent) != len(pending):
+                bulk = [item for item in pending if item[0].kind != "revocation"]
+                pending = urgent + bulk
+            batch3 = pending[:budget]
+            inbox.deferred = pending[budget:]
+        else:
+            batch3 = pending
+            inbox.deferred = []
+        collector = self.collector
+        entries: List[Tuple[ControlMessage, int]] = []
+        for message, interface, arrival in batch3:
+            delay = now_ms - arrival
+            if delay > 0:
+                collector.record_queue_delay(as_id, delay)
+                collector.record_inbox_deferral(as_id, message.kind, now_ms)
+            entries.append((message, interface))
+        service = self.services[as_id]
+        inbox.draining = True
+        try:
+            service.on_message_batch(entries, now_ms)
+        finally:
+            inbox.draining = False
+        if (inbox.deferred or inbox.entries) and not inbox.drain_scheduled:
+            inbox.drain_scheduled = True
+            self.scheduler.schedule_in(
+                inbox.service_interval_ms, self._drain_callbacks[as_id]
+            )
+
     def pending_messages(self, as_id: int) -> int:
         """Return how many delivered messages await draining at ``as_id``."""
         inbox = self._inboxes.get(as_id)
-        return len(inbox.entries) if inbox is not None else 0
+        if inbox is None:
+            return 0
+        return len(inbox.entries) + len(inbox.deferred)
+
+    def queue_backlog_ms(self, as_id: int) -> float:
+        """Estimated queueing delay a message arriving now would incur.
+
+        Rounds of backlog ahead of the new arrival times the service
+        interval; zero for unlimited inboxes or unknown ASes.  Used by
+        the traffic engine as its per-flow queue-delay provider.
+        """
+        inbox = self._inboxes.get(as_id)
+        if inbox is None or inbox.budget is None:
+            return 0.0
+        backlog = len(inbox.entries) + len(inbox.deferred)
+        if not backlog:
+            return 0.0
+        return (backlog // inbox.budget) * inbox.service_interval_ms
 
     # ------------------------------------------------------------------
     # per-kind metrics routing

@@ -24,6 +24,7 @@ from repro.core.interface_groups import (
 from repro.core.revocation import DEFAULT_DEDUP_WINDOW_MS
 from repro.exceptions import ConfigurationError
 from repro.simulation.events import ScenarioTimeline, TimelineCursor
+from repro.simulation.network import InboxProfile
 from repro.units import minutes
 
 #: A factory producing a fresh algorithm instance per AS (RACs must not
@@ -87,6 +88,12 @@ class ScenarioConfig:
             drains everything pending at a scheduler tick — the batched
             fast path; ``1`` forces per-message delivery, the behavioural
             reference of the dispatch-equivalence tests.
+        inbox_profile: Default bounded-inbox profile applied to every AS
+            (service budget, capacity, overflow policy, service interval);
+            ``None`` keeps the PR-5 unlimited fabric.  See
+            :class:`repro.simulation.network.InboxProfile`.
+        inbox_profiles: Per-AS profile overrides (AS id → profile); an AS
+            listed here ignores ``inbox_profile``.
     """
 
     algorithms: Tuple[AlgorithmSpec, ...]
@@ -99,6 +106,8 @@ class ScenarioConfig:
     timeline: ScenarioTimeline = field(default_factory=ScenarioTimeline)
     revocation_dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
     inbox_batch_size: Optional[int] = None
+    inbox_profile: Optional[InboxProfile] = None
+    inbox_profiles: Dict[int, InboxProfile] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.algorithms and not self.legacy_ases:

@@ -39,7 +39,7 @@ unimpaired — which is what lets a medium-scale run sustain well over the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.databases import PathService, RegisteredPath
 from repro.core.messages import RevocationMessage
@@ -96,6 +96,11 @@ class TrafficEngine:
             path selection is verified by delivering one probe packet and
             rejected if forwarding fails (catches stale control-plane state
             the link-state check alone would miss).
+        queue_delay_provider: Optional ``as_id -> delay_ms`` callable
+            reporting the control-plane inbox backlog at an AS (see
+            :meth:`repro.simulation.network.SimulatedTransport.queue_backlog_ms`);
+            :meth:`per_flow_latency_ms` adds it to path latency so
+            overloaded sources surface in per-flow latency.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class TrafficEngine:
         link_model: Optional[CapacityLinkModel] = None,
         collector: Optional[TrafficCollector] = None,
         probe_network: Optional[DataPlaneNetwork] = None,
+        queue_delay_provider: Optional[Callable[[int], float]] = None,
     ) -> None:
         if round_interval_ms <= 0.0:
             raise ConfigurationError(
@@ -125,6 +131,7 @@ class TrafficEngine:
         self.link_model = link_model if link_model is not None else CapacityLinkModel(topology)
         self.collector = collector if collector is not None else TrafficCollector()
         self.probe_network = probe_network
+        self.queue_delay_provider = queue_delay_provider
         self.rounds_run = 0
 
         for group in matrix:
@@ -199,6 +206,7 @@ class TrafficEngine:
             link_model=link_model,
             collector=collector,
             probe_network=network,
+            queue_delay_provider=simulation.transport.queue_backlog_ms,
         )
         simulation.add_event_listener(engine.on_scenario_event)
         simulation.add_revocation_listener(engine.on_revocation)
@@ -511,3 +519,26 @@ class TrafficEngine:
                 self._path_cache[use.digest][1] * use.share for use in state.uses
             )
         raise ConfigurationError(f"unknown flow group {group_id}")
+
+    def per_flow_latency_ms(self) -> Dict[int, float]:
+        """Return each assigned group's end-to-end latency estimate.
+
+        Share-weighted path propagation latency plus — when a
+        ``queue_delay_provider`` is attached — the control-plane inbox
+        backlog at the group's source AS, so slow or overloaded control
+        planes show up in the flows they steer.  Unassigned (black-holed)
+        groups are absent from the result.
+        """
+        provider = self.queue_delay_provider
+        latencies: Dict[int, float] = {}
+        for group_index, group in enumerate(self._groups):
+            state = self._state[group_index]
+            if not state.assigned:
+                continue
+            latency = sum(
+                self._path_cache[use.digest][1] * use.share for use in state.uses
+            )
+            if provider is not None:
+                latency += provider(group.source_as)
+            latencies[group.group_id] = latency
+        return latencies

@@ -36,7 +36,10 @@ from tests.test_examples import load_example
 #: PR 4: flow groups break on revocation *arrival* at their source AS
 #: (cause = the revocation's trace label, timestamps propagation-ordered)
 #: instead of instantly at the failure event, so every break line changed.
-EXAMPLE_TRACE_DIGEST = "4e124d7c6c3105170f8c2c9fcec9c537dd4b77bf3e7cb2ede403ff0aba2d0914"
+#: PR 6: same-timestamp failures aggregate into one multi-element
+#: revocation per origin (the example cuts both victim links at once), so
+#: break causes carry the batched ``revoke link A+link B`` label.
+EXAMPLE_TRACE_DIGEST = "aaa47b230d7245ae4bb3fa75c753e2fc9c9fccd996a10c5bb0bf19f12e376465"
 
 
 # ----------------------------------------------------------------------
@@ -358,6 +361,21 @@ class TestTrafficEngineStandalone:
         )
         engine.run_rounds(1)
         assert engine.collector.samples[1].mean_latency_ms == pytest.approx(30.0)
+
+    def test_per_flow_latency_includes_queueing_delay(self, fig1, fig1_service):
+        """PR 6: per-flow latency = path latency + source-AS inbox backlog."""
+        backlogs = {1: 7.5}
+        engine = self._engine(
+            fig1, fig1_service, LatencyGreedyPolicy(),
+            queue_delay_provider=lambda as_id: backlogs.get(as_id, 0.0),
+        )
+        engine.run_rounds(1)
+        assert engine.expected_latency_ms(0) == pytest.approx(20.0)
+        assert engine.per_flow_latency_ms() == {0: pytest.approx(27.5)}
+        # Without a provider the per-flow view is the plain path latency.
+        plain = self._engine(fig1, fig1_service, LatencyGreedyPolicy())
+        plain.run_rounds(1)
+        assert plain.per_flow_latency_ms() == {0: pytest.approx(20.0)}
 
     def test_unknown_source_as_rejected(self, fig1, fig1_service):
         matrix = TrafficMatrix(
