@@ -1,0 +1,110 @@
+"""JSONL result logging for the experiment sweep harness.
+
+One sweep (``run_experiments.py``) appends one JSON object per completed
+grid cell to a ``.jsonl`` log — a line-oriented format that survives
+partial sweeps (every finished cell is already on disk), diffs cleanly
+and needs no library to parse.
+
+Record schema (version 1)
+-------------------------
+
+Every line is a JSON object with at least the :data:`REQUIRED_FIELDS`:
+
+``schema``
+    Integer schema version (:data:`SCHEMA_VERSION`).
+``grid``
+    Name of the sweep grid the cell belongs to.
+``scenario`` / ``policy`` / ``scale``
+    The cell's coordinates in the sweep.
+``seed``
+    The cell's derived seed (base seed + cell index) — rerunning one
+    cell standalone with this seed reproduces its metrics bit-for-bit.
+``metrics``
+    Flat string→number mapping of the cell's measurements (convergence,
+    control-plane counters, traffic summaries, wall time).
+
+Optional fields: ``meta`` (harness/environment stamp, first record
+only), anything a future schema version adds.  Consumers must ignore
+unknown fields — that is what lets the schema grow without breaking
+``plot_results.py`` against old logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List
+
+SCHEMA_VERSION = 1
+
+#: Keys every result record must carry (see module docstring).
+REQUIRED_FIELDS = ("schema", "grid", "scenario", "policy", "scale", "seed", "metrics")
+
+
+class ResultLoggerError(ValueError):
+    """A record failed validation or a log line failed to parse."""
+
+
+def validate_record(record: Dict) -> None:
+    """Raise :class:`ResultLoggerError` unless ``record`` matches the schema."""
+    if not isinstance(record, dict):
+        raise ResultLoggerError(f"result record must be a dict, got {type(record).__name__}")
+    for key in REQUIRED_FIELDS:
+        if key not in record:
+            raise ResultLoggerError(f"result record is missing required field {key!r}")
+    if not isinstance(record["metrics"], dict):
+        raise ResultLoggerError("result record field 'metrics' must be a dict")
+
+
+class ResultLogger:
+    """Appends validated result records to a JSONL file, one per line.
+
+    Args:
+        path: Log file to write.  Parent directories are created; an
+            existing file is truncated unless ``append=True`` (resuming a
+            partial sweep).
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = path
+        self.records_written = 0
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        if not append:
+            with open(path, "w", encoding="utf-8"):
+                pass  # truncate
+
+    def append(self, record: Dict) -> None:
+        """Validate and append one record (flushed immediately)."""
+        validate_record(record)
+        # sort_keys keeps logs diffable; compact separators keep them small.
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self.records_written += 1
+
+
+def iter_results(path: str) -> Iterator[Dict]:
+    """Yield the validated records of one JSONL result log.
+
+    Blank lines are skipped; a malformed line raises
+    :class:`ResultLoggerError` naming its line number.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ResultLoggerError(
+                    f"{path}:{line_number}: malformed JSON ({error})"
+                ) from None
+            validate_record(record)
+            yield record
+
+
+def load_results(path: str) -> List[Dict]:
+    """Return every record of one JSONL result log as a list."""
+    return list(iter_results(path))

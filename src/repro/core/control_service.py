@@ -447,6 +447,15 @@ class IrecControlService:
         """
         return _handle_revocation(self, revocation, on_interface, now_ms)
 
+    def set_revocation_forwarding(self, enabled: bool) -> None:
+        """Toggle re-forwarding of received revocations (Byzantine knob).
+
+        With forwarding disabled the service still applies withdrawals
+        locally but silently swallows the flood — the
+        :class:`~repro.simulation.events.ForwardingSuppression` behaviour.
+        """
+        self.revocations.suppress_forwarding = not enabled
+
     # ------------------------------------------------------------------
     # transport-facing handlers
     # ------------------------------------------------------------------

@@ -33,9 +33,10 @@ class LocalTopologyView:
     as_info: ASInfo
     intra_domain: IntraDomainModel
     links_by_interface: Dict[int, Link] = field(default_factory=dict)
-    #: Lazily cached sorted interface tuple; the view is immutable after
-    #: construction and ``interface_ids`` sits on per-message fast paths
-    #: (beacon rounds, revocation forwarding), so sorting once is enough.
+    #: Lazily cached sorted interface tuple; the view only changes through
+    #: :meth:`attach_link` (growth churn), which invalidates the memo, and
+    #: ``interface_ids`` sits on per-message fast paths (beacon rounds,
+    #: revocation forwarding), so sorting once per change is enough.
     #: Excluded from init/compare: a memo must not make equal views differ.
     _interface_ids: Optional[Tuple[int, ...]] = field(
         default=None, init=False, repr=False, compare=False
@@ -72,6 +73,17 @@ class LocalTopologyView:
         if self._interface_ids is None:
             self._interface_ids = tuple(sorted(self.links_by_interface))
         return self._interface_ids
+
+    def attach_link(self, interface_id: int, link: Link) -> None:
+        """Attach a freshly added inter-domain link to a local interface.
+
+        The growth-churn hook: when a new AS joins mid-run, each
+        attachment AS's view learns about its new interface here.  The
+        interface must already exist on :attr:`as_info`.
+        """
+        self.as_info.interface(interface_id)  # raises if missing
+        self.links_by_interface[interface_id] = link
+        self._interface_ids = None
 
     def link_of(self, interface_id: int) -> Link:
         """Return the inter-domain link attached to ``interface_id``."""

@@ -88,9 +88,15 @@ class RevocationState:
             recently revoked element (see :func:`bounce_if_revoked`);
             cleared by the driver when the element recovers.
         revoked_ases: Negative cache for departed ASes, same shape.
+        suppress_forwarding: Byzantine knob (PR 7): a suppressing service
+            still receives, verifies and applies revocations — it just
+            never re-forwards them, silently swallowing floods it should
+            relay.  Its own originations still go out (suppression models
+            a free-rider, not a mute).
     """
 
     dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
+    suppress_forwarding: bool = False
     #: (origin, sequence) → first-seen time, insertion-ordered for pruning.
     _seen: Dict[Tuple[int, int], float] = field(default_factory=dict)
     applied_at: Dict[Tuple[int, int], float] = field(default_factory=dict)
@@ -168,16 +174,25 @@ class RevocationState:
         """Return the cached revocation covering any given element, if fresh.
 
         Checks the beacon's links and AS path against the negative caches;
-        entries older than the dedup window are expired lazily.  Returns
+        stale entries are expired lazily.  An entry is stale once *either*
+        its cache stamp or the cached message's own ``created_at_ms`` falls
+        outside the dedup window: each bounce makes the receiver re-apply
+        and re-cache the message with a fresh stamp, so without the
+        message-age bound a pair of caches could keep refreshing each other
+        and bounce beacons over a long-recovered element forever.  Returns
         the first fresh match (the message to re-originate) or ``None``.
         """
+        window = self.dedup_window_ms
         revoked_links = self.revoked_links
         if revoked_links:
             for link in links:
                 cached = revoked_links.get(link)
                 if cached is None:
                     continue
-                if now_ms - cached[1] > self.dedup_window_ms:
+                if (
+                    now_ms - cached[1] > window
+                    or now_ms - cached[0].created_at_ms > window
+                ):
                     del revoked_links[link]
                     continue
                 return cached[0]
@@ -187,7 +202,10 @@ class RevocationState:
                 cached = revoked_ases.get(as_id)
                 if cached is None:
                     continue
-                if now_ms - cached[1] > self.dedup_window_ms:
+                if (
+                    now_ms - cached[1] > window
+                    or now_ms - cached[0].created_at_ms > window
+                ):
                     del revoked_ases[as_id]
                     continue
                 return cached[0]
@@ -351,6 +369,16 @@ def handle_revocation(
         # time, and dropping it must not shadow an earlier in-TTL copy.
         state.rejected_stale += 1
         return False
+    if message.max_hops is not None:
+        hop_path = message.hop_path
+        if not hop_path or hop_path[-1] != service.as_id:
+            # The transport stamps every delivery of a scoped message with
+            # the receiving AS, so a copy whose hop path does not end here
+            # has been tampered with (truncated to dodge the propagation
+            # bound).  Not marked seen: an authentic copy must still
+            # process.
+            state.rejected_invalid += 1
+            return False
     key = message.key
     if state.is_duplicate(key, now_ms):
         state.duplicates += 1
@@ -364,6 +392,8 @@ def handle_revocation(
             return False
     state.mark_seen(key, now_ms)
     _apply(service, message, now_ms)
+    if state.suppress_forwarding:
+        return True
     if message.max_hops is None or len(message.hop_path) < message.max_hops:
         _forward(service, message, arrival_interface=on_interface)
     return True

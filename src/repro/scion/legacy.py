@@ -193,6 +193,11 @@ class LegacyControlService:
         re-forward) — legacy ASes participate in the flood like IREC ASes."""
         return _handle_revocation(self, revocation, on_interface, now_ms)
 
+    def set_revocation_forwarding(self, enabled: bool) -> None:
+        """Toggle re-forwarding of received revocations (Byzantine knob);
+        mirrors :meth:`IrecControlService.set_revocation_forwarding`."""
+        self.revocations.suppress_forwarding = not enabled
+
     # ------------------------------------------------------------------
     # beaconing
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.control_service import ControlServiceConfig, IrecControlService, RoundReport
 from repro.core.local_view import LocalTopologyView
+from repro.core.messages import RevocationMessage
 from repro.core.pull import PullBasedDisjointnessOrchestrator, PullState
 from repro.crypto.keys import KeyStore
 from repro.exceptions import ConfigurationError, SimulationError, UnknownASError
@@ -42,16 +43,25 @@ from repro.simulation.events import (
     ASLeave,
     BeaconFlood,
     BeaconPeriodChange,
+    ForwardingSuppression,
+    GrayFailure,
+    GrayRecovery,
     LinkFailure,
+    LinkFlap,
     LinkRecovery,
     PolicySwap,
     RACSwap,
+    RevocationForgery,
+    RevocationReplay,
     ServiceRateChange,
     TimedEvent,
+    TopologyGrowth,
 )
 from repro.simulation.failures import LinkState
 from repro.simulation.network import SimulatedTransport
 from repro.simulation.scenario import AlgorithmSpec, ScenarioConfig
+from repro.topology.entities import ASInfo, Interface, Link
+from repro.topology.geo import GeoCoordinate
 from repro.topology.graph import Topology
 from repro.topology.intra_domain import IntraDomainRegistry
 
@@ -116,6 +126,7 @@ class BeaconingSimulation:
             batch_size=scenario.inbox_batch_size,
             inbox_profile=scenario.inbox_profile,
             inbox_profiles=dict(scenario.inbox_profiles),
+            loss_seed=scenario.loss_seed,
         )
         self.services: Dict[int, AnyControlService] = {}
         self.orchestrators: List[PullBasedDisjointnessOrchestrator] = []
@@ -158,39 +169,48 @@ class BeaconingSimulation:
     # construction
     # ------------------------------------------------------------------
     def _build_services(self) -> None:
-        legacy_set = set(self.scenario.legacy_ases)
         for as_info in self.topology:
-            view = LocalTopologyView.from_topology(
-                self.topology,
-                as_info.as_id,
-                intra_domain=self.intra_domain.model_for(as_info),
+            self._build_service(as_info)
+
+    def _build_service(self, as_info: ASInfo) -> AnyControlService:
+        """Build, wire and register the control service of one AS.
+
+        Shared by initial construction and mid-run growth churn
+        (:class:`~repro.simulation.events.TopologyGrowth`), so a grown AS
+        gets exactly the deployment a founding AS would.
+        """
+        view = LocalTopologyView.from_topology(
+            self.topology,
+            as_info.as_id,
+            intra_domain=self.intra_domain.model_for(as_info),
+        )
+        if as_info.as_id in set(self.scenario.legacy_ases):
+            service: AnyControlService = LegacyControlService(
+                view=view,
+                key_store=self.key_store,
+                transport=self.transport,
+                verify_signatures=self.scenario.verify_signatures,
             )
-            if as_info.as_id in legacy_set:
-                service: AnyControlService = LegacyControlService(
-                    view=view,
-                    key_store=self.key_store,
-                    transport=self.transport,
+        else:
+            service = IrecControlService(
+                view=view,
+                key_store=self.key_store,
+                transport=self.transport,
+                grouping_policy=self.scenario.grouping_policy,
+                config=ControlServiceConfig(
                     verify_signatures=self.scenario.verify_signatures,
-                )
-            else:
-                service = IrecControlService(
-                    view=view,
-                    key_store=self.key_store,
-                    transport=self.transport,
-                    grouping_policy=self.scenario.grouping_policy,
-                    config=ControlServiceConfig(
-                        verify_signatures=self.scenario.verify_signatures,
-                        revocation_dedup_window_ms=self.scenario.revocation_dedup_window_ms,
-                    ),
-                )
-                specs = self._deployed_specs.setdefault(as_info.as_id, {})
-                for spec in self.scenario.algorithms:
-                    self._install_rac(service, spec)
-                    specs[spec.rac_id] = spec
-            service.revocations.dedup_window_ms = self.scenario.revocation_dedup_window_ms
-            service.on_withdrawal = self._withdrawal_notifier(as_info.as_id)
-            self.services[as_info.as_id] = service
-            self.transport.register(service)
+                    revocation_dedup_window_ms=self.scenario.revocation_dedup_window_ms,
+                ),
+            )
+            specs = self._deployed_specs.setdefault(as_info.as_id, {})
+            for spec in self.scenario.algorithms:
+                self._install_rac(service, spec)
+                specs[spec.rac_id] = spec
+        service.revocations.dedup_window_ms = self.scenario.revocation_dedup_window_ms
+        service.on_withdrawal = self._withdrawal_notifier(as_info.as_id)
+        self.services[as_info.as_id] = service
+        self.transport.register(service)
+        return service
 
     @staticmethod
     def _install_rac(service: IrecControlService, spec: AlgorithmSpec) -> None:
@@ -228,8 +248,13 @@ class BeaconingSimulation:
         instead of silently no-opping mid-run.
         """
         self.scenario.timeline.validate(self.topology)
+        grown_ases = {
+            timed.event.new_as
+            for timed in self.scenario.timeline
+            if isinstance(timed.event, TopologyGrowth)
+        }
         for timed in self.scenario.timeline:
-            link_kinds = (LinkFailure, LinkRecovery)
+            link_kinds = (LinkFailure, LinkRecovery, LinkFlap, GrayFailure, GrayRecovery)
             if isinstance(timed.event, link_kinds) and timed.event.link_id not in self.topology.links:
                 raise SimulationError(
                     f"timeline event {timed.trace_label()!r} references an unknown link"
@@ -244,6 +269,26 @@ class BeaconingSimulation:
                         raise SimulationError(
                             f"timeline event {timed.trace_label()!r} targets unknown AS {as_id}"
                         )
+            if isinstance(timed.event, RevocationForgery):
+                if timed.event.link_id not in self.topology.links:
+                    raise SimulationError(
+                        f"timeline event {timed.trace_label()!r} references an unknown link"
+                    )
+                byzantine_targets = (timed.event.attacker_as, timed.event.claimed_origin)
+            elif isinstance(timed.event, RevocationReplay):
+                byzantine_targets = (timed.event.attacker_as,)
+            elif isinstance(timed.event, ForwardingSuppression):
+                byzantine_targets = timed.event.as_ids
+            else:
+                byzantine_targets = ()
+            for as_id in byzantine_targets:
+                # Grown ASes are legitimate targets once their growth
+                # event has fired; the timeline validator enforces the
+                # ordering, so membership alone suffices here.
+                if as_id not in self.topology and as_id not in grown_ases:
+                    raise SimulationError(
+                        f"timeline event {timed.trace_label()!r} targets unknown AS {as_id}"
+                    )
             self._scheduled_event_counts[timed.time_ms] = (
                 self._scheduled_event_counts.get(timed.time_ms, 0) + 1
             )
@@ -411,6 +456,27 @@ class BeaconingSimulation:
                 specs[event.spec.rac_id] = event.spec
         elif isinstance(event, BeaconPeriodChange):
             self._interval_ms = event.interval_ms
+        elif isinstance(event, LinkFlap):
+            self._start_flap(event, now_ms)
+        elif isinstance(event, GrayFailure):
+            # Deliberately *no* revocation, no negative caching and no
+            # availability change: the fault is silent by definition, so
+            # the control plane keeps advertising paths across the link
+            # and only end-host-observed quality reveals it.
+            self.link_state.set_gray(event.link_id, event.drop_rate)
+        elif isinstance(event, GrayRecovery):
+            self.link_state.clear_gray(event.link_id)
+        elif isinstance(event, RevocationForgery):
+            if self.link_state.is_as_up(event.attacker_as):
+                self._forge_revocations(event, now_ms)
+        elif isinstance(event, RevocationReplay):
+            if self.link_state.is_as_up(event.attacker_as):
+                self._replay_revocations(event)
+        elif isinstance(event, ForwardingSuppression):
+            for as_id in sorted(event.as_ids):
+                self.services[as_id].set_revocation_forwarding(not event.suppress)
+        elif isinstance(event, TopologyGrowth):
+            self._grow_topology(event)
         else:
             raise SimulationError(f"unsupported scenario event {event!r}")
 
@@ -518,6 +584,139 @@ class BeaconingSimulation:
                 failed_links=tuple(links),
                 failed_ases=tuple(ases),
             )
+
+    # ------------------------------------------------------------------
+    # adversarial & gray-failure events
+    # ------------------------------------------------------------------
+    def _start_flap(self, event: LinkFlap, now_ms: float) -> None:
+        """Install a flap's loss rates and schedule its on/off toggles.
+
+        Each toggle replays the full :class:`LinkFailure` /
+        :class:`LinkRecovery` machinery (revocation origination, negative
+        cache clearing, convergence records, listeners) via
+        :meth:`_apply_event`, so a flapping link is loud exactly like a
+        scripted failure.  Toggle times are registered in the per-tick
+        event counter first, keeping the aggregated revocation flush
+        correct when a toggle shares a tick with other timeline events.
+        """
+        key = event.link_id
+        (as_a, _if_a), (as_b, _if_b) = key
+        if event.loss_ab:
+            self.link_state.set_link_loss(key, as_b, event.loss_ab)
+        if event.loss_ba:
+            self.link_state.set_link_loss(key, as_a, event.loss_ba)
+        if event.loss_ab or event.loss_ba:
+            if event.duration_ms is not None:
+                clear_at = now_ms + event.duration_ms
+            else:
+                clear_at = now_ms + event.schedule[-1]
+            self.scheduler.schedule_at(
+                clear_at,
+                lambda _t, _key=key: self.link_state.clear_link_loss(_key),
+            )
+        for index, offset in enumerate(event.schedule):
+            toggle = (
+                LinkFailure(link_id=key) if index % 2 == 0 else LinkRecovery(link_id=key)
+            )
+            timed_toggle = TimedEvent(time_ms=now_ms + offset, event=toggle)
+            self._scheduled_event_counts[timed_toggle.time_ms] = (
+                self._scheduled_event_counts.get(timed_toggle.time_ms, 0) + 1
+            )
+            self.scheduler.schedule_at(
+                timed_toggle.time_ms,
+                lambda t, _timed=timed_toggle: self._apply_event(_timed, t),
+            )
+
+    def _forge_revocations(self, event: RevocationForgery, now_ms: float) -> None:
+        """Inject revocations that claim another AS's identity.
+
+        The attacker signs with its *own* key while naming
+        ``claimed_origin`` as the message origin, so receivers that verify
+        signatures reject every copy (``rejected_invalid``) without
+        marking it seen and without withdrawing anything; with
+        verification disabled the forgery succeeds — the scenario knob for
+        quantifying what signature checking buys.
+        """
+        attacker = self.services[event.attacker_as]
+        send = self.transport.send_message
+        interface_ids = attacker.view.interface_ids()
+        for index in range(event.count):
+            forged = RevocationMessage(
+                origin_as=event.claimed_origin,
+                sequence=event.sequence_base + index,
+                created_at_ms=now_ms,
+                failed_link=event.link_id,
+            ).signed(attacker.builder.signer)
+            for interface_id in interface_ids:
+                send(event.attacker_as, interface_id, forged)
+
+    def _replay_revocations(self, event: RevocationReplay) -> None:
+        """Re-flood revocations the attacker has already processed.
+
+        Replayed copies carry their original authentic signatures and
+        ``(origin, sequence)`` keys, so honest receivers inside the dedup
+        window drop them as ``duplicates`` — no state changes, only
+        counter noise.  Cached messages are replayed in sorted key order
+        (cycling when ``count`` exceeds the cache), keeping the injected
+        traffic deterministic.
+        """
+        attacker = self.services[event.attacker_as]
+        state = attacker.revocations
+        cached: Dict[Tuple[int, int], RevocationMessage] = {}
+        for message, _cached_at in state.revoked_links.values():
+            cached[message.key] = message
+        for message, _cached_at in state.revoked_ases.values():
+            cached[message.key] = message
+        if not cached:
+            return
+        replayable = [cached[key] for key in sorted(cached)]
+        send = self.transport.send_message
+        interface_ids = attacker.view.interface_ids()
+        for index in range(event.count):
+            message = replayable[index % len(replayable)]
+            for interface_id in interface_ids:
+                send(event.attacker_as, interface_id, message)
+
+    def _grow_topology(self, event: TopologyGrowth) -> None:
+        """Grow the topology: a brand-new AS attaches and comes online.
+
+        Adds the AS and its links to the live topology, patches the
+        attachment ASes' local views (their next origination round uses
+        the new interface), and builds + registers a control service so
+        the newcomer participates from the next beaconing period on.
+        """
+        latitude, longitude = event.location
+        location = GeoCoordinate(latitude=latitude, longitude=longitude)
+        new_info = ASInfo(as_id=event.new_as, name=f"grown-{event.new_as}")
+        for index in range(1, len(event.attach_to) + 1):
+            new_info.add_interface(
+                Interface(as_id=event.new_as, interface_id=index, location=location)
+            )
+        self.topology.add_as(new_info)
+        for index, neighbor_as in enumerate(event.attach_to, start=1):
+            neighbor_info = self.topology.as_info(neighbor_as)
+            neighbor_if = max(neighbor_info.interfaces, default=0) + 1
+            existing = neighbor_info.interface_ids()
+            neighbor_location = (
+                neighbor_info.interface(existing[0]).location if existing else location
+            )
+            neighbor_info.add_interface(
+                Interface(
+                    as_id=neighbor_as,
+                    interface_id=neighbor_if,
+                    location=neighbor_location,
+                )
+            )
+            link = Link(
+                interface_a=(event.new_as, index),
+                interface_b=(neighbor_as, neighbor_if),
+                latency_ms=event.latency_ms,
+                bandwidth_mbps=event.bandwidth_mbps,
+                relationship=event.relationship,
+            )
+            self.topology.add_link(link)
+            self.services[neighbor_as].view.attach_link(neighbor_if, link)
+        self._build_service(new_info)
 
     def add_revocation_listener(self, listener) -> None:
         """Register an ``(as_id, message, removed, now_ms)`` callback fired

@@ -44,6 +44,7 @@ class MetricsCollector:
     revocations_dropped: int = 0
     total_registrations: int = 0
     registrations_dropped: int = 0
+    gray_dropped: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inbox_dropped: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inbox_marked: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inbox_deferred: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -99,6 +100,20 @@ class MetricsCollector:
     def record_registration_drop(self, time_ms: float) -> None:
         """Record one path-registration message lost on an unavailable link."""
         self.registrations_dropped += 1
+
+    def record_gray_drop(self, kind: str, time_ms: float) -> None:
+        """Record one message silently swallowed by a degraded link (PR 7).
+
+        Gray-failure and flap-loss drops are counted per message kind,
+        *disjoint* from the hard-failure drop counters: a gray failure
+        must not perturb the loud-failure accounting (and a clean run's
+        golden trace), only this dedicated ledger.
+        """
+        self.gray_dropped[kind] += 1
+
+    def gray_dropped_total(self) -> int:
+        """Return every message silently lost to degraded links so far."""
+        return sum(self.gray_dropped.values())
 
     # ------------------------------------------------------------------
     # overload accounting (bounded, rate-limited inboxes — PR 6)
@@ -228,6 +243,7 @@ class MetricsCollector:
         self.revocations_dropped = 0
         self.total_registrations = 0
         self.registrations_dropped = 0
+        self.gray_dropped.clear()
         self.inbox_dropped.clear()
         self.inbox_marked.clear()
         self.inbox_deferred.clear()

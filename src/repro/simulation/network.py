@@ -10,6 +10,14 @@ send and delivery time, and per-kind metrics uniformly — where the
 pre-fabric transport kept one hand-rolled copy of that logic per message
 type.
 
+Silent degradation (PR 7): on top of the loud availability checks, a
+delivery rolls a seeded die against the link's gray-failure and
+per-direction flap loss rates (:meth:`LinkState.drop_probability`).  A
+losing roll drops the message *silently* — the control plane never learns
+about it (no revocation originates), only the ``gray_dropped`` metric and
+end-host-observed quality reveal the fault.  The ``loss_seed`` field pins
+the dice, keeping degraded runs deterministic.
+
 Delivered messages are not handed to the receiving control service one by
 one: they land in a **per-AS inbox** that is drained in batches at the
 scheduler tick they arrived on.  Every entry of a drained batch therefore
@@ -42,6 +50,7 @@ bit-identical.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -208,20 +217,22 @@ class SimulatedTransport:
     batch_size: Optional[int] = None
     inbox_profile: Optional[InboxProfile] = None
     inbox_profiles: Dict[int, InboxProfile] = field(default_factory=dict)
+    loss_seed: int = 0
     services: Dict[int, object] = field(default_factory=dict)
     _inboxes: Dict[int, _Inbox] = field(default_factory=dict)
     _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
     #: (sender_as, egress_interface) → (link key, link latency, remote AS,
-    #: remote interface, remote inbox).  The topology's link set is fixed
-    #: for a simulation's lifetime (churn toggles availability, it never
-    #: adds links), so egress resolution is memoized — the flood fast path
-    #: pays one dict hit instead of a link lookup + endpoint resolution
-    #: per message.
+    #: remote interface, remote inbox).  The topology's link set only
+    #: changes when a new AS registers (growth churn), which clears this
+    #: cache, so egress resolution is memoized — the flood fast path pays
+    #: one dict hit instead of a link lookup + endpoint resolution per
+    #: message.
     _routes: Dict[Tuple[int, int], tuple] = field(default_factory=dict)
     #: Pre-bound per-AS drain callbacks (no per-tick lambda allocation).
     _drain_callbacks: Dict[int, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        self._loss_rng = random.Random(self.loss_seed)
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be None or >= 1, got {self.batch_size}"
@@ -388,6 +399,14 @@ class SimulatedTransport:
                     _message.beacon.links()
                 ):
                     self._record_drop(_message, now_ms)
+                    return
+            if self.link_state is not None and self.link_state.degraded():
+                # Silent degradation (gray failure / flap loss): the drop
+                # is invisible to availability checks — no revocation, no
+                # loud drop counter — only the gray-drop metric records it.
+                rate = self.link_state.drop_probability(_link_key, _remote_as)
+                if rate > 0.0 and (rate >= 1.0 or self._loss_rng.random() < rate):
+                    self.collector.record_gray_drop(_message.kind, now_ms)
                     return
             if _track:
                 _message = _message.with_hop(_remote_as)

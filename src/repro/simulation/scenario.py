@@ -94,6 +94,9 @@ class ScenarioConfig:
             :class:`repro.simulation.network.InboxProfile`.
         inbox_profiles: Per-AS profile overrides (AS id → profile); an AS
             listed here ignores ``inbox_profile``.
+        loss_seed: Seed of the transport's silent-loss RNG (gray failures,
+            flap loss).  Degraded scenarios reroll deterministically under
+            the same seed; healthy scenarios never touch the RNG.
     """
 
     algorithms: Tuple[AlgorithmSpec, ...]
@@ -108,6 +111,7 @@ class ScenarioConfig:
     inbox_batch_size: Optional[int] = None
     inbox_profile: Optional[InboxProfile] = None
     inbox_profiles: Dict[int, InboxProfile] = field(default_factory=dict)
+    loss_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.algorithms and not self.legacy_ases:

@@ -13,7 +13,8 @@ millions of end-host flows actually use them?":
   (latency-greedy, bandwidth-aware, ECMP splitting, criteria-tag pinning),
 * :mod:`repro.traffic.engine` — the :class:`TrafficEngine` that advances
   flows in rounds on the discrete-event scheduler and couples to the
-  dynamic-scenario engine (failures break flows, rounds re-select), and
+  dynamic-scenario engine (failures break flows, rounds re-select), with
+  optional :class:`ClosedLoopDemand` back-off under observed loss, and
 * :mod:`repro.traffic.collector` — goodput curves, loss accounting and
   time-to-reroute records, digest-pinnable like the golden trace.
 """
@@ -27,19 +28,21 @@ from repro.traffic.demand import (
     random_matrix,
     uniform_matrix,
 )
-from repro.traffic.engine import TrafficEngine
+from repro.traffic.engine import ClosedLoopDemand, TrafficEngine
 from repro.traffic.links import AllocationResult, CapacityLinkModel, PathLoad
 from repro.traffic.selection import (
     BandwidthAwarePolicy,
     EcmpPolicy,
     LatencyGreedyPolicy,
     TagPinnedPolicy,
+    prefer_clean,
 )
 
 __all__ = [
     "AllocationResult",
     "BandwidthAwarePolicy",
     "CapacityLinkModel",
+    "ClosedLoopDemand",
     "EcmpPolicy",
     "FlowGroup",
     "LatencyGreedyPolicy",
@@ -52,6 +55,7 @@ __all__ = [
     "TrafficMatrix",
     "gravity_matrix",
     "hotspot_matrix",
+    "prefer_clean",
     "random_matrix",
     "uniform_matrix",
 ]

@@ -121,6 +121,18 @@ class TrafficCollector:
         self.reroutes.append(record)
         self.trace.append(f"{now_ms:.3f} break group={group_id} cause={cause}")
 
+    def on_backoff(self, group_id: int, now_ms: float, factor: float, loss: float) -> None:
+        """Record a closed-loop demand adjustment of one flow group.
+
+        Only called when the engine runs with closed-loop demand *and* a
+        group's factor actually changes, so open-loop runs (the default)
+        keep a bit-identical trace.
+        """
+        self.trace.append(
+            f"{now_ms:.3f} backoff group={group_id}"
+            f" factor={factor:.4f} loss={loss:.4f}"
+        )
+
     def on_reroute(self, group_id: int, now_ms: float) -> None:
         """Record a black-holed group finding a replacement path."""
         record = self._open.pop(group_id, None)

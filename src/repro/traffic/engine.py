@@ -28,6 +28,13 @@ links.)  The next round re-selects from the withdrawn/re-registered path
 service, and the :class:`~repro.traffic.collector.TrafficCollector` turns
 the gap into time-to-reroute and goodput dip/recovery curves.
 
+Closed-loop demand (PR 7, opt-in via :class:`ClosedLoopDemand`): flow
+groups observe their own delivered fraction — congestion share times the
+silent-loss survival of their paths — back off their offered demand under
+loss, recover when the loss clears, and steer around silently lossy paths
+when clean alternatives are registered.  This is what makes gray failures
+survivable: the control plane stays blind, the end hosts do not.
+
 The per-round fast path is aggregate-batched: groups sharing a forwarding
 path merge into one :class:`~repro.traffic.links.PathLoad`, path links are
 resolved to dense link indices once per (path, engine) and memoized, and
@@ -56,7 +63,49 @@ from repro.topology.graph import Topology
 from repro.traffic.collector import RoundSample, TrafficCollector
 from repro.traffic.demand import TrafficMatrix
 from repro.traffic.links import CapacityLinkModel, PathLoad
-from repro.traffic.selection import LatencyGreedyPolicy
+from repro.traffic.selection import LatencyGreedyPolicy, prefer_clean
+
+
+@dataclass(frozen=True)
+class ClosedLoopDemand:
+    """Configuration of loss-adaptive (closed-loop) demand.
+
+    With closed-loop demand enabled, every flow group observes its own
+    delivered fraction each round — congestion share from the max-min
+    allocation times the silent-loss survival of its paths (gray
+    failures, flap loss) — and adapts: observed loss above
+    ``loss_threshold`` multiplies the group's offered demand by
+    ``backoff_factor`` (floored at ``min_demand_fraction`` of nominal),
+    a clean round multiplies it by ``recovery_factor`` (capped at
+    nominal).  Groups also steer *around* silently lossy paths when a
+    clean alternative is registered (see
+    :func:`repro.traffic.selection.prefer_clean`) — the end-host
+    rerouting that makes gray failures survivable despite a blind
+    control plane.
+    """
+
+    loss_threshold: float = 0.05
+    backoff_factor: float = 0.5
+    recovery_factor: float = 1.25
+    min_demand_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_threshold < 1.0:
+            raise ConfigurationError(
+                f"loss_threshold must be within (0, 1), got {self.loss_threshold}"
+            )
+        if not 0.0 < self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be within (0, 1), got {self.backoff_factor}"
+            )
+        if self.recovery_factor < 1.0:
+            raise ConfigurationError(
+                f"recovery_factor must be >= 1, got {self.recovery_factor}"
+            )
+        if not 0.0 < self.min_demand_fraction <= 1.0:
+            raise ConfigurationError(
+                f"min_demand_fraction must be within (0, 1], got {self.min_demand_fraction}"
+            )
 
 
 @dataclass
@@ -73,6 +122,9 @@ class _GroupState:
     """Mutable per-flow-group runtime state."""
 
     uses: List[_PathUse] = field(default_factory=list)
+    #: Closed-loop multiplier on the group's nominal demand (1.0 = open
+    #: loop / fully recovered).
+    demand_factor: float = 1.0
 
     @property
     def assigned(self) -> bool:
@@ -116,11 +168,13 @@ class TrafficEngine:
         collector: Optional[TrafficCollector] = None,
         probe_network: Optional[DataPlaneNetwork] = None,
         queue_delay_provider: Optional[Callable[[int], float]] = None,
+        closed_loop: Optional[ClosedLoopDemand] = None,
     ) -> None:
         if round_interval_ms <= 0.0:
             raise ConfigurationError(
                 f"round interval must be positive, got {round_interval_ms}"
             )
+        self.closed_loop = closed_loop
         self.topology = topology
         self.path_services = path_services
         self.matrix = matrix
@@ -175,6 +229,7 @@ class TrafficEngine:
         link_model: Optional[CapacityLinkModel] = None,
         collector: Optional[TrafficCollector] = None,
         probe_paths: bool = True,
+        closed_loop: Optional[ClosedLoopDemand] = None,
     ) -> "TrafficEngine":
         """Attach a traffic engine to a running beaconing simulation.
 
@@ -207,6 +262,7 @@ class TrafficEngine:
             collector=collector,
             probe_network=network,
             queue_delay_provider=simulation.transport.queue_backlog_ms,
+            closed_loop=closed_loop,
         )
         simulation.add_event_listener(engine.on_scenario_event)
         simulation.add_revocation_listener(engine.on_revocation)
@@ -339,6 +395,7 @@ class TrafficEngine:
 
         # Batched loads: path digest → [total demand, total weight, links].
         batches: Dict[str, List] = {}
+        closed_loop = self.closed_loop
         offered = 0.0
         unserved = 0.0
         active_groups = 0
@@ -346,7 +403,10 @@ class TrafficEngine:
 
         for group_index, group in enumerate(self._groups):
             state = self._state[group_index]
-            offered += group.demand_mbps
+            demand = group.demand_mbps
+            if closed_loop is not None:
+                demand *= state.demand_factor
+            offered += demand
 
             if state.assigned and not self._assignment_valid(
                 group, state, failed_indices
@@ -359,7 +419,7 @@ class TrafficEngine:
                     self.collector.on_reroute(group.group_id, now_ms)
 
             if not state.assigned:
-                unserved += group.demand_mbps
+                unserved += demand
                 blackholed += 1
                 continue
 
@@ -368,12 +428,12 @@ class TrafficEngine:
                 batch = batches.get(use.digest)
                 if batch is None:
                     batches[use.digest] = [
-                        group.demand_mbps * use.share,
+                        demand * use.share,
                         group.flow_count * use.share,
                         use.link_indices,
                     ]
                 else:
-                    batch[0] += group.demand_mbps * use.share
+                    batch[0] += demand * use.share
                     batch[1] += group.flow_count * use.share
 
         loads = [
@@ -397,6 +457,9 @@ class TrafficEngine:
             else 0.0
         )
 
+        if closed_loop is not None:
+            self._adapt_demand(batches, result, now_ms)
+
         sample = RoundSample(
             time_ms=now_ms,
             offered_mbps=offered,
@@ -413,18 +476,87 @@ class TrafficEngine:
         return sample
 
     # ------------------------------------------------------------------
+    # closed-loop demand
+    # ------------------------------------------------------------------
+    def _adapt_demand(self, batches: Dict[str, List], result, now_ms: float) -> None:
+        """Adjust every assigned group's demand factor from observed loss.
+
+        One group's delivered fraction is its share-weighted product of
+        per-path congestion fraction (carried / offered on the digest)
+        and silent-loss survival.  Factor changes are recorded via
+        :meth:`TrafficCollector.on_backoff`; unchanged factors stay
+        silent so steady state adds no trace lines.
+        """
+        closed_loop = self.closed_loop
+        degraded = self.link_state.degraded()
+        for group_index, group in enumerate(self._groups):
+            state = self._state[group_index]
+            if not state.assigned:
+                continue
+            delivered = 0.0
+            for use in state.uses:
+                batch = batches[use.digest]
+                carried = result.carried_mbps.get(use.digest, 0.0)
+                fraction = carried / batch[0] if batch[0] > 0.0 else 1.0
+                if degraded:
+                    fraction *= 1.0 - self._path_silent_loss(use.link_indices)
+                delivered += use.share * fraction
+            loss = 1.0 - delivered
+            if loss > closed_loop.loss_threshold:
+                new_factor = max(
+                    closed_loop.min_demand_fraction,
+                    state.demand_factor * closed_loop.backoff_factor,
+                )
+            else:
+                new_factor = min(
+                    1.0, state.demand_factor * closed_loop.recovery_factor
+                )
+            if new_factor != state.demand_factor:
+                state.demand_factor = new_factor
+                self.collector.on_backoff(group.group_id, now_ms, new_factor, loss)
+
+    def _path_silent_loss(self, link_indices: Tuple[int, ...]) -> float:
+        """Return a path's end-host-observed silent-drop probability.
+
+        Product of per-link worst-direction survival (see
+        :meth:`LinkState.silent_loss`); zero while nothing is degraded.
+        """
+        state = self.link_state
+        link_id_of = self.link_model.link_id_of
+        survival = 1.0
+        for index in link_indices:
+            rate = state.silent_loss(link_id_of(index))
+            if rate:
+                survival *= 1.0 - rate
+        return 1.0 - survival
+
+    # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
     def _assignment_valid(
         self, group, state: _GroupState, failed_indices: Set[int]
     ) -> bool:
-        """Return whether every selected path is still registered and up."""
+        """Return whether every selected path is still registered and up.
+
+        With closed-loop demand enabled, a path that has become silently
+        lossy beyond the loss threshold also invalidates the assignment:
+        the next selection steers around it when a clean alternative is
+        registered (the control plane never withdraws gray links, so only
+        this end-host check can).
+        """
         service = self.path_services[group.source_as]
+        closed_loop = self.closed_loop
+        check_loss = closed_loop is not None and self.link_state.degraded()
         for use in state.uses:
             if failed_indices and not failed_indices.isdisjoint(use.link_indices):
                 return False
             if service.get(use.digest) is None:
                 return False  # withdrawn or expired since selection
+            if (
+                check_loss
+                and self._path_silent_loss(use.link_indices) > closed_loop.loss_threshold
+            ):
+                return False
         return True
 
     def _select_paths(
@@ -450,6 +582,12 @@ class TrafficEngine:
                 if failed_indices and not failed_indices.isdisjoint(resolved[1]):
                     continue
                 usable.append(path)
+            if self.closed_loop is not None and self.link_state.degraded():
+                usable = prefer_clean(
+                    usable,
+                    lambda path: self._path_silent_loss(self._resolve(path)[1]),
+                    self.closed_loop.loss_threshold,
+                )
             return self.policy(usable)
 
         weighted = host.select_weighted(group.destination_as, usable_only)

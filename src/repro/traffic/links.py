@@ -101,11 +101,13 @@ class CapacityLinkModel:
         self.topology = topology
         self.capacity_scale = capacity_scale
         self._index_of: Dict[LinkID, int] = {}
+        self._link_ids: List[LinkID] = []
         self._capacity: List[float] = []
         self._latency_ms: List[float] = []
         for link_id in topology.link_ids():
             link = topology.links[link_id]
             self._index_of[link_id] = len(self._capacity)
+            self._link_ids.append(link_id)
             bandwidth = link.bandwidth_mbps or default_capacity_mbps
             self._capacity.append(bandwidth * capacity_scale)
             self._latency_ms.append(link.latency_ms)
@@ -123,6 +125,13 @@ class CapacityLinkModel:
     def indices_for(self, links: Sequence[LinkID]) -> Tuple[int, ...]:
         """Map a path's link identifiers to their dense indices."""
         return tuple(self._index_of[link] for link in links)
+
+    def link_id_of(self, index: int) -> LinkID:
+        """Return the link identifier at ``index`` (inverse of :meth:`link_index`)."""
+        try:
+            return self._link_ids[index]
+        except IndexError:
+            raise ConfigurationError(f"unknown link index {index}") from None
 
     def capacity_of(self, index: int) -> float:
         """Return the provisioned capacity of link ``index`` in Mbit/s."""

@@ -123,3 +123,21 @@ class TagPinnedPolicy:
         if not tagged and self.fallback:
             tagged = list(candidates)
         return self.inner(tagged)
+
+
+def prefer_clean(
+    candidates: Sequence[RegisteredPath],
+    loss_of,
+    threshold: float,
+) -> List[RegisteredPath]:
+    """Prefer paths whose observed silent loss stays under ``threshold``.
+
+    The closed-loop demand filter: ``loss_of(path)`` is the end host's
+    loss estimate for one candidate (see
+    :meth:`repro.simulation.failures.LinkState.silent_loss`).  Candidates
+    at or under the threshold win; when *every* candidate is lossy the
+    full set is returned unchanged — a degraded path still beats sending
+    nothing, the back-off happens on the demand side instead.
+    """
+    clean = [path for path in candidates if loss_of(path) <= threshold]
+    return clean if clean else list(candidates)

@@ -84,3 +84,133 @@ class TestGoldenTrace:
             "golden trace changed — if intentional, update GOLDEN_DIGEST to "
             f"{digest!r}; trace was:\n{trace}"
         )
+
+
+# ---------------------------------------------------------------------------
+# PR 7: adversarial & gray-failure family golden traces
+# ---------------------------------------------------------------------------
+
+# One pinned digest per new event family.  Each scenario runs the same
+# 5-AS line as the clean golden run with one family's events layered on
+# top; the digests prove the adversarial machinery (flap toggles, silent
+# loss dice, forgery/replay/suppression dispatch, live topology growth)
+# is bit-for-bit deterministic.  Update a value (with justification) only
+# when a PR intentionally changes that family's observable behaviour.
+FAMILY_DIGESTS = {
+    "flap": "dcb7e8c70c5fa6ac472ced3facb84f53e92e226fec878941ebe4d4d610aa65f9",
+    "gray": "8b32eaa6ae7f473d4e5d3e28d84f4da8df220e6699cb92529a004e10419be68d",
+    "byzantine": "cabf009078db2dc83332a0ef98311bb85fb7327f1adc83b6507514161e46a27f",
+    "churn_growth": "88fdf89b7b30598881211d32212dc5af79545604816a3a79bd0ef7de324e0fe4",
+}
+
+
+def run_family_scenario(family):
+    """Run one adversarial-family golden scenario; return its trace text."""
+    topology = line_topology(5)
+    # Byzantine runs verify signatures — the family's whole point is the
+    # rejection path; the others keep the clean run's cheap setting.
+    scenario = don_scenario(
+        periods=9, verify_signatures=(family == "byzantine")
+    )
+    scenario.loss_seed = 42
+    link = topology.link_ids()[1]  # the 2-3 link
+
+    if family == "flap":
+        scenario.at(minutes(25)).flap_link(
+            link,
+            schedule=(0.0, minutes(6), minutes(12), minutes(18)),
+            loss_ab=0.3,
+            loss_ba=0.3,
+        )
+    elif family == "gray":
+        scenario.at(minutes(25)).gray_fail(link, drop_rate=0.7)
+        scenario.at(minutes(55)).gray_recover(link)
+    elif family == "byzantine":
+        scenario.at(minutes(25)).forge_revocation(
+            attacker_as=5, claimed_origin=2, link_id=link, count=2
+        )
+        scenario.at(minutes(30)).fail_link(link)
+        scenario.at(minutes(40)).recover_link(link)
+        scenario.at(minutes(45)).replay_revocations(attacker_as=5, count=1)
+        scenario.at(minutes(50)).suppress_forwarding((4,))
+    elif family == "churn_growth":
+        scenario.at(minutes(25)).grow_as(6, attach_to=(3, 5))
+        scenario.at(minutes(45)).grow_as(7, attach_to=(6,))
+    else:  # pragma: no cover - guard against typos in parametrization
+        raise ValueError(f"unknown family {family!r}")
+
+    simulation = BeaconingSimulation(topology, scenario)
+    simulation.watch_pair(5, 1)
+    result = simulation.run()
+    summary = (
+        f"sent={result.collector.total_sent}"
+        f" dropped={result.collector.total_dropped}"
+        f" gray={result.collector.gray_dropped_total()}"
+        f" revocations={result.collector.total_revocations}"
+        f" rejected={sum(s.revocations.rejected_invalid for s in result.services.values())}"
+        f" duplicates={sum(s.revocations.duplicates for s in result.services.values())}"
+        f" ases={len(result.services)}"
+        f" final={result.final_time_ms:.3f}"
+        f" records={len(result.convergence.records)}"
+    )
+    record_lines = [record.trace_label() for record in result.convergence.records]
+    return "\n".join([result.convergence.trace_text(), *record_lines, summary])
+
+
+class TestAdversarialGoldenTraces:
+    def test_family_traces_are_reproducible_within_process(self):
+        for family in FAMILY_DIGESTS:
+            assert run_family_scenario(family) == run_family_scenario(family)
+
+    def test_family_traces_match_checked_in_digests(self):
+        for family, expected in FAMILY_DIGESTS.items():
+            trace = run_family_scenario(family)
+            digest = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+            assert digest == expected, (
+                f"{family} golden trace changed — if intentional, update "
+                f"FAMILY_DIGESTS[{family!r}] to {digest!r}; trace was:\n{trace}"
+            )
+
+    def test_byzantine_events_disabled_matches_clean_digest(self):
+        """Acceptance: attackers off ⇒ the pinned clean digest, untouched.
+
+        The adversarial plumbing (loss seed, new dispatch branches, the
+        suppression/forgery hooks) must be strictly pay-for-what-you-use:
+        a scenario that schedules no adversarial events produces the
+        exact clean golden trace.
+        """
+        trace = run_scenario()
+        digest = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+        assert digest == GOLDEN_DIGEST
+
+    def test_defeated_attack_does_not_change_registered_paths(self):
+        """Forgery + replay against verifying ASes: path state identical."""
+
+        def run(attack):
+            topology = line_topology(5)
+            scenario = don_scenario(periods=6, verify_signatures=True)
+            if attack:
+                scenario.at(minutes(25)).forge_revocation(
+                    attacker_as=5,
+                    claimed_origin=2,
+                    link_id=topology.link_ids()[1],
+                    count=3,
+                )
+            simulation = BeaconingSimulation(topology, scenario)
+            result = simulation.run()
+            paths = {
+                as_id: sorted(
+                    path.segment.digest()
+                    for path in service.path_service.all_paths()
+                )
+                for as_id, service in result.services.items()
+            }
+            return paths, result
+
+        clean_paths, _clean = run(attack=False)
+        attacked_paths, attacked = run(attack=True)
+        assert attacked_paths == clean_paths
+        assert all(
+            service.revocations.applied_at == {}
+            for service in attacked.services.values()
+        )

@@ -23,6 +23,7 @@ from repro.core.messages import (
     RevocationMessage,
 )
 from repro.core.transport import LoopbackTransport, NullTransport
+from repro.crypto.keys import KeyStore
 from repro.exceptions import ConfigurationError
 from repro.simulation.beaconing import BeaconingSimulation
 from repro.simulation.engine import EventScheduler
@@ -472,3 +473,53 @@ class TestDispatchEquivalence:
             return result.convergence.trace_text()
 
         assert run(None) == run(1)
+
+
+class TestHopPathIntegrity:
+    """PR 7: the truncated-hop-path check rejects tampering, never honesty."""
+
+    @given(max_hops=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_fabric_stamping_never_trips_the_truncation_check(
+        self, max_hops
+    ):
+        """Property: every fabric-delivered scoped copy passes the check.
+
+        The transport stamps each delivery, so the hop path always ends at
+        the receiver; ``rejected_invalid`` must stay zero for any scope,
+        and the flood still reaches exactly its hop radius.
+        """
+        key_store = KeyStore()
+        topology = line_topology(6)
+        _transport, services = build_loopback_services(
+            topology, key_store, verify_signatures=True
+        )
+        services[2].originate_revocation(
+            now_ms=5.0, failed_link=_link(topology, 0), max_hops=max_hops
+        )
+        assert all(
+            service.revocations.rejected_invalid == 0
+            for service in services.values()
+        )
+        # Scope radius: ASes within max_hops of origin 2 withdrew, the
+        # rest never heard (AS 1 sits across the revoked link itself).
+        for as_id in range(3, 7):
+            distance = as_id - 2
+            applied = services[as_id].revocations.applied_at != {}
+            assert applied == (distance <= max_hops)
+
+    def test_truncated_copy_is_rejected_at_the_fabric_boundary(self, key_store):
+        """A hand-injected scoped copy without stamps dies rejected_invalid."""
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        scoped = RevocationMessage(
+            origin_as=1,
+            sequence=3,
+            created_at_ms=0.0,
+            failed_link=_link(topology, 0),
+            max_hops=2,
+        )
+        receiver = services[3]
+        assert receiver.on_revocation(scoped, on_interface=1, now_ms=1.0) is False
+        assert receiver.revocations.rejected_invalid == 1
+        assert receiver.revocations.applied_at == {}

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import math
+import random
 
 from hypothesis import given, settings, strategies as st
 
@@ -20,7 +21,15 @@ from repro.core.staticinfo import StaticInfo
 from repro.crypto.hashing import algorithm_hash
 from repro.crypto.keys import KeyStore
 from repro.crypto.signer import Signer, Verifier
+from repro.simulation.events import (
+    ScenarioTimeline,
+    flapping_links,
+    gray_failures,
+    growth_churn,
+)
 from repro.topology.geo import GeoCoordinate, great_circle_km
+
+from tests.conftest import line_topology
 
 # Shared strategies ----------------------------------------------------------
 latitudes = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
@@ -210,3 +219,72 @@ class TestTLFProperties:
                 [shared, ((50, index + 2), (intermediate, 1)), ((intermediate, 2), (2, index + 1))]
             )
         assert tolerable_link_failures(paths, 1, 2) == 1
+
+
+class TestAdversarialGeneratorProperties:
+    """PR 7: seeded event generators are pure functions of their seed."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_generators_are_seed_deterministic(self, seed):
+        """Same seed ⇒ identical event times and trace labels."""
+        topology = line_topology(6)
+
+        def schedule():
+            events = []
+            events += flapping_links(
+                topology,
+                count=2,
+                rng=random.Random(seed),
+                start_ms=1_000.0,
+                loss_rate=0.2,
+            )
+            events += gray_failures(
+                topology,
+                count=2,
+                rng=random.Random(seed + 1),
+                at_ms=2_000.0,
+                drop_rate=0.5,
+                duration_ms=500.0,
+            )
+            events += growth_churn(
+                topology,
+                count=2,
+                rng=random.Random(seed + 2),
+                start_ms=3_000.0,
+                spacing_ms=100.0,
+            )
+            return [(timed.time_ms, timed.trace_label()) for timed in events]
+
+        assert schedule() == schedule()
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_timelines_always_validate(self, seed):
+        """Whatever the seed, generated events target only real elements."""
+        topology = line_topology(5)
+        timeline = ScenarioTimeline()
+        timeline.extend(
+            flapping_links(
+                topology, count=1, rng=random.Random(seed), start_ms=500.0
+            )
+        )
+        timeline.extend(
+            gray_failures(
+                topology,
+                count=1,
+                rng=random.Random(seed),
+                at_ms=1_500.0,
+                duration_ms=200.0,
+            )
+        )
+        timeline.extend(
+            growth_churn(
+                topology,
+                count=1,
+                rng=random.Random(seed),
+                start_ms=2_500.0,
+                spacing_ms=100.0,
+            )
+        )
+        timeline.validate(topology)

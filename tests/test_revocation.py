@@ -9,7 +9,11 @@ semantics, the interaction with :class:`LinkState` (revocations crossing a
 failed link are lost), and the exactly-once overhead accounting.
 """
 
+from dataclasses import replace
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.control_service import ControlServiceConfig, IrecControlService
 from repro.core.local_view import LocalTopologyView
@@ -337,3 +341,175 @@ class TestLegacyParticipation:
         assert result.service(4).revocations.applied_from(2) != []
         for path in legacy.path_service.all_paths():
             assert failed not in path.segment.links()
+
+
+class TestNegativeCacheAgeBound:
+    """Satellite regression (PR 7): the negative cache expires by message age.
+
+    Each beacon bounce re-applies and re-caches the bounced revocation with
+    a fresh stamp, so a pair of caches can keep refreshing each other; the
+    stamp alone therefore never expires.  The message's own
+    ``created_at_ms`` is the loop breaker — once the revocation itself is
+    older than the dedup window, the cache entry dies no matter how
+    recently it was stamped, and beacons over the long-recovered element
+    flow again.
+    """
+
+    def test_fresh_stamp_cannot_outlive_the_message_age(self):
+        state = RevocationState(dedup_window_ms=1_000.0)
+        message = RevocationMessage(
+            origin_as=1, sequence=1, created_at_ms=0.0,
+            failed_link=((1, 2), (2, 1)),
+        )
+        link = message.failed_link
+        state.cache_revoked_elements(message, now_ms=0.0)
+        assert state.revoked_recently([link], [], now_ms=500.0) is message
+        # A bouncing peer refreshes the stamp long after the window ...
+        state.cache_revoked_elements(message, now_ms=5_000.0)
+        # ... but the message itself is ancient: the entry is expired and
+        # evicted instead of bouncing the beacon forever.
+        assert state.revoked_recently([link], [], now_ms=5_100.0) is None
+        assert link not in state.revoked_links
+
+    def test_as_cache_honours_the_same_age_bound(self):
+        state = RevocationState(dedup_window_ms=1_000.0)
+        message = RevocationMessage(
+            origin_as=1, sequence=1, created_at_ms=0.0, failed_as=3
+        )
+        state.cache_revoked_elements(message, now_ms=5_000.0)
+        assert state.revoked_recently([], [3], now_ms=5_100.0) is None
+        assert 3 not in state.revoked_ases
+
+    def test_stale_stamp_still_expires(self):
+        state = RevocationState(dedup_window_ms=1_000.0)
+        message = RevocationMessage(
+            origin_as=1, sequence=1, created_at_ms=4_900.0, failed_as=3
+        )
+        state.cache_revoked_elements(message, now_ms=5_000.0)
+        # Fresh message, fresh stamp: covered.
+        assert state.revoked_recently([], [3], now_ms=5_100.0) is message
+        # Fresh message, stale stamp: expired.
+        state.cache_revoked_elements(message, now_ms=5_000.0)
+        assert state.revoked_recently([], [3], now_ms=6_500.0) is None
+
+
+class TestByzantineRejection:
+    """Satellite (PR 7): malformed revocations die at the right check.
+
+    Every rejection path must bump its own counter and must *not* mark the
+    key seen — an authentic copy arriving later always still applies.
+    """
+
+    def test_forged_signature_rejected_without_seen_marking(self, key_store):
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        receiver = services[2]
+        link = _link(topology, 0)
+        attacker = Signer(as_id=3, key_store=key_store)
+        forged = RevocationMessage(
+            origin_as=1, sequence=7, created_at_ms=0.0, failed_link=link
+        ).signed(attacker)
+
+        assert receiver.on_revocation(forged, on_interface=1, now_ms=1.0) is False
+        assert receiver.revocations.rejected_invalid == 1
+        assert receiver.revocations.applied_at == {}
+
+        authentic = RevocationMessage(
+            origin_as=1, sequence=7, created_at_ms=0.0, failed_link=link
+        ).signed(Signer(as_id=1, key_store=key_store))
+        assert receiver.on_revocation(authentic, on_interface=1, now_ms=2.0) is True
+        assert receiver.revocations.applied_at[(1, 7)] == 2.0
+
+    def test_replayed_key_counted_as_duplicate_and_applies_once(self, key_store):
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        receiver = services[3]
+        message = RevocationMessage(
+            origin_as=1, sequence=4, created_at_ms=0.0, failed_link=_link(topology, 0)
+        ).signed(Signer(as_id=1, key_store=key_store))
+
+        assert receiver.on_revocation(message, on_interface=1, now_ms=1.0) is True
+        before = dict(receiver.revocations.applied_at)
+        for replay in range(3):
+            assert (
+                receiver.on_revocation(message, on_interface=1, now_ms=2.0 + replay)
+                is False
+            )
+        assert receiver.revocations.duplicates == 3
+        assert receiver.revocations.applied_at == before
+
+    def test_truncated_hop_path_rejected_without_seen_marking(self, key_store):
+        """A scoped copy whose hop path does not end here was tampered with."""
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        receiver = services[2]
+        signer = Signer(as_id=1, key_store=key_store)
+        scoped = RevocationMessage(
+            origin_as=1, sequence=9, created_at_ms=0.0,
+            failed_link=_link(topology, 0), max_hops=4,
+        ).signed(signer)
+
+        # Hop path truncated to nothing: the attacker tried to reset the
+        # propagation budget.  Rejected, not marked seen.
+        assert receiver.on_revocation(scoped, on_interface=1, now_ms=1.0) is False
+        # Hop path ending at a different AS: same tampering, same fate.
+        misdirected = scoped.with_hop(3)
+        assert receiver.on_revocation(misdirected, on_interface=1, now_ms=1.5) is False
+        assert receiver.revocations.rejected_invalid == 2
+        assert receiver.revocations.applied_at == {}
+
+        # The honestly stamped copy still applies afterwards.
+        stamped = scoped.with_hop(2)
+        assert receiver.on_revocation(stamped, on_interface=1, now_ms=2.0) is True
+        assert receiver.revocations.applied_at[(1, 9)] == 2.0
+
+    def test_over_ttl_copy_rejected_with_stale_counter(self, key_store):
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        receiver = services[2]
+        message = RevocationMessage(
+            origin_as=1, sequence=2, created_at_ms=0.0,
+            failed_link=_link(topology, 0), ttl_ms=50.0,
+        ).signed(Signer(as_id=1, key_store=key_store))
+
+        assert receiver.on_revocation(message, on_interface=1, now_ms=500.0) is False
+        assert receiver.revocations.rejected_stale == 1
+        assert receiver.revocations.rejected_invalid == 0
+        assert receiver.revocations.applied_at == {}
+        # Not marked seen: an in-TTL copy still applies.
+        assert receiver.on_revocation(message, on_interface=1, now_ms=10.0) is True
+
+    @given(
+        sequence=st.integers(min_value=1, max_value=10**6),
+        tamper=st.sampled_from(["signature", "origin", "element"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tampered_messages_never_apply(self, sequence, tamper):
+        """Property: whatever the forger changes, the copy dies unseen."""
+        key_store = KeyStore()
+        topology = line_topology(3)
+        _transport, services = build_loopback_services(topology, key_store)
+        receiver = services[2]
+        link = _link(topology, 0)
+        signer = Signer(as_id=1, key_store=key_store)
+        authentic = RevocationMessage(
+            origin_as=1, sequence=sequence, created_at_ms=0.0, failed_link=link
+        ).signed(signer)
+
+        if tamper == "signature":
+            forged = replace(authentic, signature=b"\x00" + authentic.signature[1:])
+        elif tamper == "origin":
+            # Same signature bytes, different claimed origin.
+            forged = replace(authentic, origin_as=3)
+        else:
+            # Same origin/signature, different revoked element.
+            forged = replace(
+                authentic, failed_link=None, failed_links=(_link(topology, 1),)
+            )
+
+        assert receiver.on_revocation(forged, on_interface=1, now_ms=1.0) is False
+        assert receiver.revocations.rejected_invalid == 1
+        assert receiver.revocations.applied_at == {}
+        # The authentic copy is never shadowed by the rejected forgery.
+        assert receiver.on_revocation(authentic, on_interface=1, now_ms=2.0) is True
+        assert authentic.key in receiver.revocations.applied_at
