@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Phase-attributed profile of one end-to-end beaconing simulation.
+
+Runs the ``beaconing_e2e`` workload (signature verification on) with the
+full observatory enabled — profiling spans, the metrics registry bound to
+the live simulation, and the per-period time-series sampler — then:
+
+* prints the **time-attribution table**: exclusive wall seconds per phase
+  (crypto.sign/verify, fabric.send/drain, scheduler.dispatch,
+  db.invalidate, sim.originate/rac_round, ...), which by construction
+  partition the measured wall clock;
+* writes ``telemetry.jsonl`` (``result_logger`` schema, one record per
+  beaconing period), ``metrics.prom`` (Prometheus exposition text of the
+  final registry snapshot), ``timeline.svg`` (per-period PCB/s, backlog
+  and queue-delay lines through ``plot_results.render_timeline``) and
+  ``profile.json`` (phases + coverage + meta) into ``--out-dir``;
+* with ``--min-coverage PCT`` exits non-zero unless the attributed
+  exclusive times cover at least PCT percent of the measured wall —
+  the CI gate proving the span set still explains where time goes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_simulation.py \\
+        --scale medium --out-dir results/profile --min-coverage 90
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+if __package__ is None or __package__ == "":  # direct script invocation
+    _HERE = os.path.dirname(os.path.abspath(__file__))
+    _SRC = os.path.join(os.path.dirname(_HERE), "src")
+    for _path in (_SRC, _HERE):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from plot_results import render_timeline
+from result_logger import ResultLogger
+from run_benchmarks import git_revision, peak_rss_mb, scale_topology_config
+
+from repro.crypto.hashing import reset_perf_counters
+from repro.obs import REGISTRY, TelemetrySampler, bind_simulation, prometheus_text, spans
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.scenario import don_scenario
+from repro.topology.generator import generate_topology
+
+#: Sampled metrics drawn in the timeline plot (all per-period).
+TIMELINE_METRICS = (
+    "pcbs_per_s",
+    "crypto_ops_per_s",
+    "inbox_backlog_total",
+    "queue_delay_p99_ms",
+)
+
+
+def profile(scale: str, periods: int, seed: int) -> dict:
+    """Run one instrumented e2e simulation; return the profile summary."""
+    topology = generate_topology(scale_topology_config(scale, seed=seed))
+    scenario = don_scenario(periods=periods, verify_signatures=True)
+    simulation = BeaconingSimulation(topology, scenario)
+
+    REGISTRY.clear()
+    bind_simulation(simulation)
+    sampler = TelemetrySampler(simulation).attach()
+    reset_perf_counters()
+    spans.reset()
+    spans.enable()
+    start = time.perf_counter()
+    try:
+        result = simulation.run()
+    finally:
+        spans.disable()
+    wall_s = time.perf_counter() - start
+
+    return {
+        "wall_s": wall_s,
+        "coverage": spans.coverage(wall_s),
+        "phases": spans.snapshot(),
+        "pcbs_sent": result.collector.total_sent,
+        "beacons_per_s": result.collector.total_sent / wall_s if wall_s > 0 else 0.0,
+        "periods": result.periods_run,
+        "ases": len(result.services),
+        "sampler": sampler,
+    }
+
+
+def write_artifacts(summary: dict, out_dir: str, scale: str, seed: int) -> list:
+    """Write telemetry.jsonl / metrics.prom / timeline.svg / profile.json."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    sampler: TelemetrySampler = summary["sampler"]
+
+    jsonl_path = os.path.join(out_dir, "telemetry.jsonl")
+    logger = ResultLogger(jsonl_path)
+    for record in sampler.to_records(
+        grid="profile", scenario="beaconing_e2e", policy="telemetry",
+        scale=scale, seed=seed,
+    ):
+        logger.append(record)
+    written.append(jsonl_path)
+
+    prom_path = os.path.join(out_dir, "metrics.prom")
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(REGISTRY))
+    written.append(prom_path)
+
+    svg_path = os.path.join(out_dir, "timeline.svg")
+    series = {
+        metric: sampler.timeline(metric)
+        for metric in TIMELINE_METRICS
+        if any(value for _t, value in sampler.timeline(metric))
+        or metric == "pcbs_per_s"
+    }
+    render_timeline(
+        series, svg_path,
+        title=f"beaconing_e2e telemetry ({scale}, {summary['periods']} periods)",
+    )
+    written.append(svg_path)
+
+    profile_path = os.path.join(out_dir, "profile.json")
+    payload = {
+        "meta": {
+            "harness": "profile_simulation.py v1 (PR 8)",
+            "scale": scale,
+            "seed": seed,
+            "python": platform.python_version(),
+            "unix_time": time.time(),
+            "peak_rss_mb": peak_rss_mb(),
+            **git_revision(),
+        },
+        "wall_s": summary["wall_s"],
+        "coverage": summary["coverage"],
+        "phases": summary["phases"],
+        "pcbs_sent": summary["pcbs_sent"],
+        "beacons_per_s": summary["beacons_per_s"],
+        "periods": summary["periods"],
+        "ases": summary["ases"],
+    }
+    with open(profile_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    written.append(profile_path)
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="medium",
+        choices=("small", "medium", "paper"),
+        help="simulation scale (default: medium)",
+    )
+    parser.add_argument(
+        "--periods", type=int, default=3, help="beaconing periods to run (default: 3)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="topology seed (default: 7)")
+    parser.add_argument(
+        "--out-dir",
+        default="results/profile",
+        help="artifact directory (default: results/profile)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero unless the attribution table covers at least "
+        "PCT percent of the measured wall time",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"[profile] beaconing_e2e scale={args.scale} periods={args.periods} "
+        f"seed={args.seed}",
+        flush=True,
+    )
+    summary = profile(args.scale, args.periods, args.seed)
+    print(spans.attribution_table(summary["wall_s"], stats=summary["phases"]), flush=True)
+    written = write_artifacts(summary, args.out_dir, args.scale, args.seed)
+    for path in written:
+        print(f"[profile] wrote {path}")
+
+    if args.min_coverage is not None:
+        coverage_pct = 100.0 * summary["coverage"]
+        if coverage_pct < args.min_coverage:
+            print(
+                f"[profile] FAIL: attribution covers {coverage_pct:.1f}% of wall "
+                f"time, below the required {args.min_coverage:.1f}%",
+                flush=True,
+            )
+            return 1
+        print(
+            f"[profile] coverage {coverage_pct:.1f}% >= {args.min_coverage:.1f}% ok",
+            flush=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

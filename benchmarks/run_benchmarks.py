@@ -90,10 +90,31 @@ except ImportError:  # pre-PR1 trees have no crypto perf counters
 
     def reset_perf_counters():
         return None
+from repro.obs import spans
 from repro.simulation.beaconing import BeaconingSimulation
 from repro.simulation.events import random_link_failures
 from repro.simulation.scenario import don_scenario
 from repro.topology.generator import TopologyConfig, generate_topology, paper_scale_config
+
+try:
+    import resource
+except ImportError:  # non-Unix platform: RSS sampling degrades to None
+    resource = None
+
+
+def peak_rss_mb():
+    """Return the process's peak RSS in MiB (None where unsupported).
+
+    ``ru_maxrss`` is a high-water mark, so per-stage values are
+    monotonically non-decreasing across the run: a stage's entry shows the
+    peak *up to and including* that stage, and a jump pinpoints the stage
+    that grew the footprint.  (Linux reports KiB, macOS bytes.)
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(peak / divisor, 2)
 
 # Pinned workload shapes — change them only together with a note in the
 # report's ``meta`` section, otherwise cross-PR comparisons are meaningless.
@@ -728,12 +749,13 @@ def git_revision() -> dict:
         return {"git_sha": None}
 
 
-def run_all(scale: str, periods: int) -> dict:
+def run_all(scale: str, periods: int, profile: bool = False) -> dict:
     report = {
         "meta": {
-            "harness": "run_benchmarks.py v2 (PR 6)",
+            "harness": "run_benchmarks.py v3 (PR 8)",
             "scale": scale,
             "periods": periods,
+            "profile": profile,
             "python": platform.python_version(),
             "unix_time": time.time(),
             **git_revision(),
@@ -751,13 +773,33 @@ def run_all(scale: str, periods: int) -> dict:
         ("control_overload", lambda: stage_control_overload(scale)),
         ("traffic", lambda: stage_traffic(scale)),
     )
+    if profile:
+        spans.enable()
     for name, stage in stages:
         print(f"[bench] running {name} ...", flush=True)
-        report["stages"][name] = stage()
+        if profile:
+            spans.reset()
+        stage_start = time.perf_counter()
+        entry = stage()
+        stage_wall_s = time.perf_counter() - stage_start
+        entry["peak_rss_mb"] = peak_rss_mb()
+        if profile:
+            # Phase-attributed time per stage: where the stage's *full*
+            # wall clock went (exclusive times; see docs/observability.md).
+            # Attribution runs against the whole stage — several stages do
+            # instrumented warmup/setup outside their measured `wall_s`
+            # window, so `wall_s` would over-count coverage.
+            entry["phases"] = spans.snapshot()
+            entry["profile_wall_s"] = stage_wall_s
+            print(spans.attribution_table(stage_wall_s), flush=True)
+        report["stages"][name] = entry
         print(
-            f"[bench]   {name}: wall={report['stages'][name]['wall_s']:.2f}s",
+            f"[bench]   {name}: wall={entry['wall_s']:.2f}s"
+            f" peak_rss={entry['peak_rss_mb']}MiB",
             flush=True,
         )
+    if profile:
+        spans.disable()
     return report
 
 
@@ -787,6 +829,14 @@ def main(argv=None) -> int:
         "than PCT percent (throughput drop, or wall-time growth for stages "
         "without a throughput metric)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable phase-attributed profiling spans: print a per-stage "
+        "time-attribution table and record the phases in each stage's JSON "
+        "entry (adds a few percent of overhead — do not compare profiled "
+        "walls against unprofiled baselines)",
+    )
     args = parser.parse_args(argv)
     if args.fail_on_regression is not None and args.baseline is None:
         parser.error("--fail-on-regression requires --baseline")
@@ -804,7 +854,7 @@ def main(argv=None) -> int:
                 flush=True,
             )
 
-    report = run_all(args.scale, args.periods)
+    report = run_all(args.scale, args.periods, profile=args.profile)
     if baseline is not None:
         report["baseline_meta"] = baseline.get("meta", {})
         report["speedup_vs_baseline"] = compare_to_baseline(report, baseline)

@@ -1,0 +1,53 @@
+"""The simulation observatory: metrics registry, profiling spans, telemetry.
+
+Three pillars, all **disabled or inert by default**:
+
+* :mod:`repro.obs.registry` — typed Counter/Gauge/Histogram handles in a
+  process-global named registry (:data:`REGISTRY`); one ``snapshot()``
+  returns whole-system state.  :mod:`repro.obs.bridge` binds the repo's
+  pre-existing scattered counters into it as poll-time callback gauges.
+* :mod:`repro.obs.spans` — phase-attributed profiling spans behind a
+  module-global flag; hot seams pay one attribute check when disabled.
+* :mod:`repro.obs.timeseries` + :mod:`repro.obs.exporters` — per-period
+  gauge sampling streamed to JSONL (``result_logger`` schema), a
+  Prometheus-text exporter, and (via ``benchmarks/plot_results.py``) an
+  SVG timeline.
+
+See ``docs/observability.md`` for the span taxonomy and how to read the
+attribution table.
+"""
+
+from repro.obs import spans
+from repro.obs.bridge import bind_crypto, bind_simulation, bind_traffic_engine
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    prometheus_text,
+    registry_samples,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileReservoir,
+)
+from repro.obs.timeseries import TelemetrySample, TelemetrySampler
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QuantileReservoir",
+    "TelemetrySample",
+    "TelemetrySampler",
+    "bind_crypto",
+    "bind_simulation",
+    "bind_traffic_engine",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "registry_samples",
+    "spans",
+]

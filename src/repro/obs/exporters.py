@@ -1,0 +1,137 @@
+"""Pluggable exporters over a :class:`~repro.obs.registry.MetricsRegistry`.
+
+Two text formats:
+
+* **Prometheus exposition text** (:func:`prometheus_text`) — the
+  ``# HELP`` / ``# TYPE`` / sample-line format every metrics stack can
+  scrape.  Counters and scalar gauges export one sample; labeled gauges
+  export one sample per label value; histograms export summary-style
+  quantile samples plus ``_count`` / ``_sum`` / ``_max``.
+  :func:`parse_prometheus_text` parses the format back into
+  ``{(name, labels): value}`` — the round-trip the observatory tests pin.
+
+* **JSONL** time-series records are *not* produced here: the sampler
+  (:mod:`repro.obs.timeseries`) emits records conforming to
+  ``benchmarks/result_logger.py``'s schema, reusing the sweep harness's
+  validated logger instead of inventing a second JSON shape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple, Union
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+Number = Union[int, float]
+#: A parsed sample key: (metric name, sorted (label, value) pairs).
+SampleKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry name to a legal Prometheus metric name."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_number(value: Number) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render the registry in Prometheus exposition text format."""
+    lines = []
+    for name in registry.names():
+        metric = registry.get(name)
+        full = sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+        if metric.help:
+            lines.append(f"# HELP {full} {metric.help}")
+        if isinstance(metric, Histogram):
+            lines.append(f"# TYPE {full} summary")
+            stats = metric.value
+            for q_label, q_key in (("0.5", "p50"), ("0.99", "p99")):
+                lines.append(f'{full}{{quantile="{q_label}"}} {_format_number(stats[q_key])}')
+            lines.append(f"{full}_count {_format_number(stats['count'])}")
+            lines.append(f"{full}_sum {_format_number(metric.reservoir.total)}")
+            lines.append(f"{full}_max {_format_number(stats['max'])}")
+            continue
+        lines.append(f"# TYPE {full} {metric.kind}")
+        value = metric.value
+        if isinstance(value, dict):
+            label = getattr(metric, "label", None) or "key"
+            for key in sorted(value, key=str):
+                lines.append(f'{full}{{{label}="{key}"}} {_format_number(value[key])}')
+        else:
+            lines.append(f"{full} {_format_number(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[SampleKey, float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Comment/blank lines are skipped; a malformed sample line raises
+    ``ValueError`` naming its line number.  This is a consumer-grade
+    parser for the subset :func:`prometheus_text` emits — enough for the
+    round-trip tests and for asserting CI artifacts are well-formed.
+    """
+    samples: Dict[SampleKey, float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample line {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            sorted((pair.group("key"), pair.group("value"))
+                   for pair in _LABEL_PAIR.finditer(labels_text))
+        )
+        samples[(match.group("name"), labels)] = float(match.group("value"))
+    return samples
+
+
+def registry_samples(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> Dict[SampleKey, float]:
+    """Return the registry's state keyed exactly like the parser's output.
+
+    The reference the round-trip test compares against:
+    ``parse_prometheus_text(prometheus_text(r)) == registry_samples(r)``.
+    """
+    samples: Dict[SampleKey, float] = {}
+    for name in registry.names():
+        metric = registry.get(name)
+        full = sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+        if isinstance(metric, Histogram):
+            stats = metric.value
+            samples[(full, (("quantile", "0.5"),))] = float(stats["p50"])
+            samples[(full, (("quantile", "0.99"),))] = float(stats["p99"])
+            samples[(f"{full}_count", ())] = float(stats["count"])
+            samples[(f"{full}_sum", ())] = float(metric.reservoir.total)
+            samples[(f"{full}_max", ())] = float(stats["max"])
+            continue
+        value = metric.value
+        if isinstance(value, dict):
+            label = getattr(metric, "label", None) or "key"
+            for key, item in value.items():
+                samples[(full, ((label, str(key)),))] = float(item)
+        else:
+            samples[(full, ())] = float(value)
+    return samples

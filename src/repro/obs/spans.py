@@ -1,0 +1,245 @@
+"""Phase-attributed profiling spans.
+
+A span names one *phase* of simulation work (``"crypto.verify"``,
+``"fabric.drain"``, ...).  While a span is open, wall time accrues to the
+phase; nested spans subtract their elapsed time from the parent's
+*exclusive* (self) time, so the self times of all phases partition the
+measured wall clock — summing them yields the attribution coverage that
+``benchmarks/profile_simulation.py`` asserts on.
+
+Design constraints (in priority order):
+
+1. **Disabled-by-default, near-zero cost when off.**  The module-global
+   :data:`ENABLED` flag is checked *at the call site* (``if
+   spans.ENABLED:``) before any span machinery runs: a disabled hot seam
+   costs one module-attribute load and a branch — no object allocation,
+   no function call.  The zero-allocation test in
+   ``tests/test_observatory.py`` pins this.
+2. **Never perturb simulated behaviour.**  Spans read the host's
+   ``perf_counter`` only; they never touch the scheduler, RNGs or
+   collectors, so golden traces are bit-identical with telemetry on.
+3. **Reentrancy.**  The same phase may nest inside itself (a recursive
+   drain); self/total accounting stays correct because frames are
+   per-entry, not per-name.
+
+Two instrumentation idioms are supported:
+
+* guarded push/pop for hot seams (no allocation when disabled)::
+
+      frame = spans.push("fabric.send") if spans.ENABLED else None
+      try:
+          ...
+      finally:
+          if frame is not None:
+              spans.pop(frame)
+
+* the :class:`span` context manager for cool seams (once per period)::
+
+      with spans.span("sim.originate"):
+          ...
+
+* :func:`add` for leaf phases whose duration is measured externally
+  (e.g. one HMAC): records elapsed time directly, still crediting the
+  enclosing span's child time.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+#: Master switch.  Checked by every instrumented seam *before* calling
+#: into this module; flip it via :func:`enable` / :func:`disable`.
+ENABLED = False
+
+
+class PhaseStat:
+    """Accumulated timing of one phase.
+
+    Attributes:
+        calls: Completed span entries (or :func:`add` observations).
+        self_s: Exclusive wall seconds — time inside this phase but
+            outside any nested span.  Self times across phases are
+            disjoint; their sum is the attributed share of wall time.
+        total_s: Inclusive wall seconds, nested spans included.  Totals
+            of nested phases overlap, so they do *not* sum to wall time.
+    """
+
+    __slots__ = ("calls", "self_s", "total_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.self_s = 0.0
+        self.total_s = 0.0
+
+
+#: phase name -> accumulated stats.
+_stats: Dict[str, PhaseStat] = {}
+#: Open frames, innermost last.  A frame is ``[name, start_s, child_s]``
+#: (a mutable list, not a class: pushing one must be as cheap as possible).
+_stack: List[list] = []
+
+
+def enable() -> None:
+    """Turn span recording on (accumulated stats are kept)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn span recording off and abandon any open frames."""
+    global ENABLED
+    ENABLED = False
+    _stack.clear()
+
+
+def reset() -> None:
+    """Drop all accumulated stats and open frames."""
+    _stats.clear()
+    _stack.clear()
+
+
+def push(name: str) -> list:
+    """Open a span frame for ``name``; returns the frame to pass to :func:`pop`."""
+    frame = [name, perf_counter(), 0.0]
+    _stack.append(frame)
+    return frame
+
+
+def pop(frame: list) -> None:
+    """Close ``frame``, crediting its elapsed time to its phase.
+
+    Tolerates a stack cleared by :func:`disable`/:func:`reset` between
+    push and pop (the frame is simply gone) and unwinds frames leaked
+    above ``frame`` by an exception path that skipped their pops.
+    """
+    end = perf_counter()
+    while _stack:
+        top = _stack.pop()
+        if top is frame:
+            _record(top, end)
+            return
+    # The stack was cleared underneath us; nothing to attribute.
+
+
+def _record(frame: list, end_s: float) -> None:
+    name, start_s, child_s = frame
+    elapsed = end_s - start_s
+    stat = _stats.get(name)
+    if stat is None:
+        stat = _stats[name] = PhaseStat()
+    stat.calls += 1
+    stat.total_s += elapsed
+    self_s = elapsed - child_s
+    if self_s > 0.0:
+        stat.self_s += self_s
+    if _stack:
+        _stack[-1][2] += elapsed
+
+
+def add(name: str, elapsed_s: float, count: int = 1) -> None:
+    """Record ``elapsed_s`` seconds of leaf work under phase ``name``.
+
+    For externally timed leaves (one signature, one hash): cheaper than a
+    push/pop pair and still subtracts the time from the enclosing span's
+    self time.
+    """
+    stat = _stats.get(name)
+    if stat is None:
+        stat = _stats[name] = PhaseStat()
+    stat.calls += count
+    stat.total_s += elapsed_s
+    stat.self_s += elapsed_s
+    if _stack:
+        _stack[-1][2] += elapsed_s
+
+
+class span:
+    """Context manager form: ``with spans.span("sim.originate"): ...``.
+
+    Checks :data:`ENABLED` at entry, so a disabled run pays only the
+    (one-per-use) object allocation — use it at cool seams; hot seams use
+    the guarded push/pop idiom from the module docstring.
+    """
+
+    __slots__ = ("name", "_frame")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._frame: Optional[list] = None
+
+    def __enter__(self) -> "span":
+        if ENABLED:
+            self._frame = push(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._frame is not None:
+            pop(self._frame)
+            self._frame = None
+        return False
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Return ``{phase: {calls, self_s, total_s}}`` for all recorded phases."""
+    return {
+        name: {"calls": stat.calls, "self_s": stat.self_s, "total_s": stat.total_s}
+        for name, stat in sorted(_stats.items())
+    }
+
+
+def attributed_s(stats: Optional[Dict[str, Dict[str, float]]] = None) -> float:
+    """Return the summed exclusive time of all phases (disjoint by design)."""
+    if stats is not None:
+        return sum(stat["self_s"] for stat in stats.values())
+    return sum(stat.self_s for stat in _stats.values())
+
+
+def coverage(
+    wall_s: float, stats: Optional[Dict[str, Dict[str, float]]] = None
+) -> float:
+    """Return the fraction of ``wall_s`` attributed to phases (0.0–1.0+)."""
+    if wall_s <= 0.0:
+        return 0.0
+    return attributed_s(stats) / wall_s
+
+
+def attribution_table(
+    wall_s: Optional[float] = None,
+    stats: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """Render the per-phase time-attribution table as printable text.
+
+    Phases are sorted by exclusive time, descending.  With ``wall_s``
+    given, a ``self %`` column (share of that wall clock), an
+    ``unattributed`` row and a coverage footer are included — the view
+    ``run_benchmarks.py --profile`` and ``profile_simulation.py`` print.
+    Pass ``stats`` (a :func:`snapshot` dict) to render saved data instead
+    of the live accumulator.
+    """
+    if stats is None:
+        stats = snapshot()
+    rows = sorted(stats.items(), key=lambda item: -item[1]["self_s"])
+    header = f"{'phase':<22} {'calls':>10} {'self s':>9} {'self %':>7} {'total s':>9}"
+    lines = [header, "-" * len(header)]
+
+    def fmt(name: str, calls: str, self_s: float, total_s: Optional[float]) -> str:
+        share = f"{100.0 * self_s / wall_s:6.1f}%" if wall_s else f"{'':>7}"
+        total = f"{total_s:9.3f}" if total_s is not None else f"{'':>9}"
+        return f"{name:<22} {calls:>10} {self_s:9.3f} {share} {total}"
+
+    for name, stat in rows:
+        lines.append(fmt(name, str(int(stat["calls"])), stat["self_s"], stat["total_s"]))
+    if wall_s:
+        unattributed = max(0.0, wall_s - attributed_s(stats))
+        lines.append(fmt("(unattributed)", "-", unattributed, None))
+        lines.append("-" * len(header))
+        lines.append(
+            f"attributed {attributed_s(stats):.3f}s of {wall_s:.3f}s wall "
+            f"({100.0 * coverage(wall_s, stats):.1f}% coverage)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Per-beaconing-period time-series sampling of key gauges.
+
+A :class:`TelemetrySampler` hooks a ``BeaconingSimulation``'s period
+listener (fired once at the end of every period — never on a message
+path) and snapshots the headline rates and distributions: PCBs per
+second, crypto operations per second, queue-delay p50/p99, inbox backlog
+per AS.  Rates are computed against *host* wall-clock deltas between
+period boundaries (``time.perf_counter``), which is what a throughput
+investigation wants; simulated time is carried alongside.
+
+Samples stream out through ``benchmarks/result_logger.py``'s validated
+JSONL schema (:meth:`TelemetrySampler.to_records`) so the existing sweep
+tooling — including ``plot_results.py`` and its SVG timeline — consumes
+them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import perf_counters
+
+
+@dataclass
+class TelemetrySample:
+    """One period boundary's gauge snapshot.
+
+    Attributes:
+        period: Zero-based index of the period that just completed.
+        time_ms: Simulated time of the period boundary.
+        wall_s: Host wall-clock seconds since the sampler attached.
+        values: Flat metric mapping (rates, distributions, backlogs).
+    """
+
+    period: int
+    time_ms: float
+    wall_s: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+class TelemetrySampler:
+    """Streams per-period snapshots from a beaconing simulation.
+
+    Usage::
+
+        sampler = TelemetrySampler(simulation).attach()
+        simulation.run()
+        records = sampler.to_records(scenario="beaconing_e2e", scale="medium")
+    """
+
+    def __init__(self, simulation, per_as_backlog: bool = True) -> None:
+        self.simulation = simulation
+        self.per_as_backlog = per_as_backlog
+        self.samples: List[TelemetrySample] = []
+        self._start_wall: Optional[float] = None
+        self._last_wall: Optional[float] = None
+        self._last_sent = 0
+        self._last_revocations = 0
+        self._last_crypto = 0
+        self._last_delay_count = 0
+
+    def attach(self) -> "TelemetrySampler":
+        """Register on the simulation's period listener; returns self."""
+        now = perf_counter()
+        self._start_wall = now
+        self._last_wall = now
+        self._last_sent = self.simulation.collector.total_sent
+        self._last_revocations = self.simulation.collector.total_revocations
+        self._last_crypto = sum(perf_counters().values())
+        self.simulation.add_period_listener(self.on_period_end)
+        return self
+
+    def on_period_end(self, now_ms: float) -> None:
+        """Snapshot gauges at one period boundary (the listener callback)."""
+        now_wall = perf_counter()
+        if self._start_wall is None:  # attached manually without attach()
+            self._start_wall = now_wall
+            self._last_wall = now_wall
+        elapsed = max(1e-9, now_wall - self._last_wall)
+
+        simulation = self.simulation
+        collector = simulation.collector
+        sent = collector.total_sent
+        revocations = collector.total_revocations
+        crypto_ops = sum(perf_counters().values())
+        delay_stats = collector.queue_delay_stats()
+
+        values: Dict[str, float] = {
+            "pcbs_sent": float(sent - self._last_sent),
+            "pcbs_per_s": (sent - self._last_sent) / elapsed,
+            "revocations": float(revocations - self._last_revocations),
+            "crypto_ops_per_s": (crypto_ops - self._last_crypto) / elapsed,
+            "queue_delay_p50_ms": float(delay_stats["p50"]),
+            "queue_delay_p99_ms": float(delay_stats["p99"]),
+            "queue_delays_serviced": float(delay_stats["count"] - self._last_delay_count),
+            "scheduler_queue_size": float(simulation.scheduler.queue_size),
+        }
+
+        backlog_total = 0
+        backlog_max = 0
+        transport = simulation.transport
+        for as_id in sorted(simulation.services):
+            pending = transport.pending_messages(as_id)
+            if pending:
+                backlog_total += pending
+                if pending > backlog_max:
+                    backlog_max = pending
+                if self.per_as_backlog:
+                    values[f"inbox_backlog_as_{as_id}"] = float(pending)
+        values["inbox_backlog_total"] = float(backlog_total)
+        values["inbox_backlog_max"] = float(backlog_max)
+
+        self.samples.append(
+            TelemetrySample(
+                period=len(self.samples),
+                time_ms=now_ms,
+                wall_s=now_wall - self._start_wall,
+                values=values,
+            )
+        )
+        self._last_wall = now_wall
+        self._last_sent = sent
+        self._last_revocations = revocations
+        self._last_crypto = crypto_ops
+        self._last_delay_count = int(delay_stats["count"])
+
+    def to_records(
+        self,
+        grid: str = "telemetry",
+        scenario: str = "beaconing",
+        policy: str = "telemetry",
+        scale: str = "unspecified",
+        seed: int = 0,
+        schema: int = 1,
+    ) -> List[Dict]:
+        """Return the samples as ``result_logger``-schema JSONL records."""
+        records = []
+        for sample in self.samples:
+            metrics = {
+                "period": sample.period,
+                "time_ms": sample.time_ms,
+                "wall_s": sample.wall_s,
+            }
+            metrics.update(sample.values)
+            records.append(
+                {
+                    "schema": schema,
+                    "grid": grid,
+                    "scenario": scenario,
+                    "policy": policy,
+                    "scale": scale,
+                    "seed": seed,
+                    "metrics": metrics,
+                }
+            )
+        return records
+
+    def timeline(self, metric: str) -> List[tuple]:
+        """Return ``(time_ms, value)`` points of one sampled metric."""
+        return [
+            (sample.time_ms, sample.values.get(metric, 0.0)) for sample in self.samples
+        ]

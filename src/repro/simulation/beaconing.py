@@ -35,6 +35,7 @@ from repro.core.messages import RevocationMessage
 from repro.core.pull import PullBasedDisjointnessOrchestrator, PullState
 from repro.crypto.keys import KeyStore
 from repro.exceptions import ConfigurationError, SimulationError, UnknownASError
+from repro.obs import spans as _spans
 from repro.scion.legacy import LegacyControlService
 from repro.simulation.collector import ConvergenceCollector, MetricsCollector
 from repro.simulation.engine import EventScheduler
@@ -142,6 +143,12 @@ class BeaconingSimulation:
         #: traffic engine subscribes here to break flows at withdrawal
         #: time.
         self.revocation_listeners: List = []
+        #: Callbacks ``(now_ms,)`` invoked at the end of every completed
+        #: beaconing period — the observatory's time-series sampler hook.
+        #: Fired once per period (never on a message path) and after all
+        #: convergence/overload bookkeeping, so listeners observe the
+        #: period's final state and cannot perturb golden traces.
+        self.period_listeners: List = []
         self._periods_run = 0
         self._interval_ms = scenario.propagation_interval_ms
         self._next_period_start_ms = 0.0
@@ -339,6 +346,15 @@ class BeaconingSimulation:
         """Register a ``(event, now_ms)`` callback fired after each applied
         timeline event (failures, recoveries, churn, swaps)."""
         self.event_listeners.append(listener)
+
+    def add_period_listener(self, listener) -> None:
+        """Register a ``(now_ms,)`` callback fired at every period end."""
+        self.period_listeners.append(listener)
+
+    @property
+    def periods_run(self) -> int:
+        """Return how many beaconing periods have completed so far."""
+        return self._periods_run
 
     def usable_path_count(self, source_as: int, destination_as: int) -> int:
         """Return how many registered paths of the pair are usable right now.
@@ -579,6 +595,7 @@ class BeaconingSimulation:
             if not self.link_state.is_as_up(as_id):
                 continue
             links, ases = per_origin[as_id]
+            self.collector.record_revocation_batch(len(links) + len(ases))
             self.services[as_id].originate_revocation(
                 now_ms=now_ms,
                 failed_links=tuple(links),
@@ -767,18 +784,20 @@ class BeaconingSimulation:
                 self._applying_deferred = False
             if self._pending_failed_links or self._pending_failed_ases:
                 self._flush_revocations(self.scheduler.now_ms)
-        for service in self._services_in_order():
-            if self.link_state.is_as_up(service.as_id):
-                service.originate(now_ms=self.scheduler.now_ms)
+        with _spans.span("sim.originate"):
+            for service in self._services_in_order():
+                if self.link_state.is_as_up(service.as_id):
+                    service.originate(now_ms=self.scheduler.now_ms)
         self.scheduler.run_until(mid_period_ms)
 
         reports: List[RoundReport] = []
-        for service in self._services_in_order():
-            if not self.link_state.is_as_up(service.as_id):
-                continue
-            report = service.run_round(now_ms=self.scheduler.now_ms)
-            if isinstance(report, RoundReport):
-                reports.append(report)
+        with _spans.span("sim.rac_round"):
+            for service in self._services_in_order():
+                if not self.link_state.is_as_up(service.as_id):
+                    continue
+                report = service.run_round(now_ms=self.scheduler.now_ms)
+                if isinstance(report, RoundReport):
+                    reports.append(report)
         self.scheduler.run_until(period_end_ms)
 
         for orchestrator in self.orchestrators:
@@ -820,6 +839,8 @@ class BeaconingSimulation:
         self.round_reports.extend(reports)
         self._periods_run += 1
         self._next_period_start_ms = period_end_ms
+        for listener in self.period_listeners:
+            listener(self.scheduler.now_ms)
         return reports
 
     def run(self, periods: Optional[int] = None) -> SimulationResult:

@@ -18,6 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import QuantileReservoir
 from repro.topology.entities import InterfaceID
 
 
@@ -49,7 +50,15 @@ class MetricsCollector:
     inbox_marked: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inbox_deferred: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     _queue_high_water: Dict[int, int] = field(default_factory=dict)
-    _queue_delays: List[float] = field(default_factory=list)
+    # Bounded reservoir sample (was an unbounded List[float] — one entry
+    # per serviced message leaked memory on long overloaded runs).  Count,
+    # mean and max stay exact; p50/p99 come from the uniform sample, which
+    # is the full stream until it outgrows the reservoir capacity.
+    _queue_delays: QuantileReservoir = field(default_factory=QuantileReservoir)
+    revocation_batches: int = 0
+    revocation_batch_elements: int = 0
+    revocation_batch_max: int = 0
+    revocation_multi_batches: int = 0
 
     def record_send(self, sender_as: int, interface_id: int, time_ms: float) -> None:
         """Record one PCB transmission."""
@@ -137,7 +146,23 @@ class MetricsCollector:
 
     def record_queue_delay(self, as_id: int, delay_ms: float) -> None:
         """Record one serviced message's queueing delay."""
-        self._queue_delays.append(delay_ms)
+        self._queue_delays.observe(delay_ms)
+
+    def record_revocation_batch(self, elements: int) -> None:
+        """Record one aggregated revocation origination of ``elements`` failures.
+
+        The beaconing driver batches every simultaneous failure an origin
+        detects in one scheduler tick into a single multi-element
+        ``RevocationMessage``; these counters expose how much that
+        aggregation saves (a storm of N failures costs each origin one
+        flood, not N).
+        """
+        self.revocation_batches += 1
+        self.revocation_batch_elements += elements
+        if elements > self.revocation_batch_max:
+            self.revocation_batch_max = elements
+        if elements > 1:
+            self.revocation_multi_batches += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -216,19 +241,15 @@ class MetricsCollector:
         return dict(self._queue_high_water)
 
     def queue_delay_stats(self) -> Dict[str, float]:
-        """Return count/mean/max/p50/p99 of recorded queueing delays (ms)."""
-        delays = self._queue_delays
-        if not delays:
-            return {"count": 0, "mean": 0.0, "max": 0.0, "p50": 0.0, "p99": 0.0}
-        ordered = sorted(delays)
-        count = len(ordered)
-        return {
-            "count": count,
-            "mean": sum(ordered) / count,
-            "max": ordered[-1],
-            "p50": ordered[min(count - 1, int(0.50 * count))],
-            "p99": ordered[min(count - 1, int(0.99 * count))],
-        }
+        """Return count/mean/max/p50/p99 of recorded queueing delays (ms).
+
+        Count, mean and max are exact over the whole stream; the
+        percentiles are exact until the stream outgrows the bounded
+        reservoir, then a uniform-sample estimate (same index convention
+        as before, so short runs are bit-identical to the unbounded
+        implementation this replaced).
+        """
+        return self._queue_delays.stats()
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -249,6 +270,10 @@ class MetricsCollector:
         self.inbox_deferred.clear()
         self._queue_high_water.clear()
         self._queue_delays.clear()
+        self.revocation_batches = 0
+        self.revocation_batch_elements = 0
+        self.revocation_batch_max = 0
+        self.revocation_multi_batches = 0
 
 
 @dataclass

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
+from repro.obs import spans as _spans
 
 #: An event callback receives the current simulated time in milliseconds.
 EventCallback = Callable[[float], None]
@@ -88,17 +89,22 @@ class EventScheduler:
             The number of events processed.  The current time advances to
             ``horizon_ms`` even if the queue drains earlier.
         """
-        processed = 0
-        while self._queue and self._queue[0].time_ms <= horizon_ms:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now_ms = event.time_ms
-            event.callback(self.now_ms)
-            processed += 1
-            self.processed_events += 1
-        self.now_ms = max(self.now_ms, horizon_ms)
-        return processed
+        frame = _spans.push("scheduler.dispatch") if _spans.ENABLED else None
+        try:
+            processed = 0
+            while self._queue and self._queue[0].time_ms <= horizon_ms:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now_ms = event.time_ms
+                event.callback(self.now_ms)
+                processed += 1
+                self.processed_events += 1
+            self.now_ms = max(self.now_ms, horizon_ms)
+            return processed
+        finally:
+            if frame is not None:
+                _spans.pop(frame)
 
     def run_all(self, max_events: int = 1_000_000) -> int:
         """Process every pending event (bounded by ``max_events``).
@@ -107,23 +113,37 @@ class EventScheduler:
             SimulationError: If the bound is hit, which usually indicates a
                 runaway event loop.
         """
-        processed = 0
-        while self._queue:
-            if processed >= max_events:
-                raise SimulationError(f"exceeded the limit of {max_events} events")
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now_ms = event.time_ms
-            event.callback(self.now_ms)
-            processed += 1
-            self.processed_events += 1
-        return processed
+        frame = _spans.push("scheduler.dispatch") if _spans.ENABLED else None
+        try:
+            processed = 0
+            while self._queue:
+                if processed >= max_events:
+                    raise SimulationError(f"exceeded the limit of {max_events} events")
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now_ms = event.time_ms
+                event.callback(self.now_ms)
+                processed += 1
+                self.processed_events += 1
+            return processed
+        finally:
+            if frame is not None:
+                _spans.pop(frame)
 
     @property
     def pending(self) -> int:
         """Return the number of pending (non-cancelled) events."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def queue_size(self) -> int:
+        """Return the heap size, cancelled entries included.
+
+        O(1), unlike :attr:`pending` — the right shape for a registry
+        gauge polled at every snapshot.
+        """
+        return len(self._queue)
 
     def peek_next_time(self) -> Optional[float]:
         """Return the time of the next pending event, if any."""

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.beacon import Beacon
 from repro.core.messages import ControlMessage, PCBMessage
+from repro.obs import spans as _spans
 from repro.exceptions import (
     AlgorithmError,
     ConfigurationError,
@@ -353,6 +354,16 @@ class SimulatedTransport:
         pay ``link latency + processing delay``, and enqueue into the
         receiver's inbox for the batched drain at the arrival tick.
         """
+        frame = _spans.push("fabric.send") if _spans.ENABLED else None
+        try:
+            self._send_message(sender_as, egress_interface, message)
+        finally:
+            if frame is not None:
+                _spans.pop(frame)
+
+    def _send_message(
+        self, sender_as: int, egress_interface: int, message: ControlMessage
+    ) -> None:
         route = self._routes.get((sender_as, egress_interface))
         if route is None:
             route = self._route(sender_as, egress_interface)
@@ -462,6 +473,16 @@ class SimulatedTransport:
         inbox.drain_scheduled = False
         if inbox.draining:
             return
+        if _spans.ENABLED:
+            frame = _spans.push("fabric.drain")
+            try:
+                self._drain_inbox(as_id, inbox, now_ms)
+            finally:
+                _spans.pop(frame)
+        else:
+            self._drain_inbox(as_id, inbox, now_ms)
+
+    def _drain_inbox(self, as_id: int, inbox: _Inbox, now_ms: float) -> None:
         if inbox.budget is not None:
             self._drain_limited(as_id, inbox, now_ms)
             return

@@ -36,8 +36,13 @@ from tests.conftest import line_topology
 GOLDEN_DIGEST = "5ce362c5870d1b961141d110321bed2360d38f20be418884cfa6aac7ee21ed8d"
 
 
-def run_scenario():
-    """Run the pinned golden scenario; return its trace text."""
+def run_scenario(instrument=None):
+    """Run the pinned golden scenario; return its trace text.
+
+    ``instrument`` (if given) receives the built simulation right before
+    ``run()`` — the observatory tests use it to attach telemetry and prove
+    the digest is unchanged with instrumentation enabled.
+    """
     topology = line_topology(5)
     scenario = don_scenario(periods=11, verify_signatures=False)
 
@@ -59,6 +64,8 @@ def run_scenario():
     simulation = BeaconingSimulation(topology, scenario)
     simulation.watch_pair(3, 1)
     simulation.watch_pair(5, 1)
+    if instrument is not None:
+        instrument(simulation)
     result = simulation.run()
 
     summary = (

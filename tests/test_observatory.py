@@ -1,0 +1,522 @@
+"""Tests for the simulation observatory (``repro.obs``).
+
+Covers the four pillars the PR pins down:
+
+* registry semantics (typed handles, get-or-create, labeled callback
+  gauges, snapshot shape) and snapshot **determinism** under seeded runs;
+* span nesting/reentrancy self-time accounting and the **disabled-mode
+  zero-allocation** guarantee at the instrumented hot seams;
+* the bounded queue-delay reservoir (memory stays fixed over a
+  100k-observation stream while p50/p99 stay within tolerance);
+* exporters: Prometheus-text round-trip, sampler → ``result_logger``
+  schema, and the hypothesis property that enabling telemetry never
+  changes the golden trace digest.
+"""
+
+import hashlib
+import os
+import sys
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import reset_perf_counters
+from repro.crypto.keys import derive_key
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    QuantileReservoir,
+    TelemetrySampler,
+    bind_simulation,
+    parse_prometheus_text,
+    prometheus_text,
+    registry_samples,
+    spans,
+)
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.collector import MetricsCollector
+from repro.simulation.scenario import don_scenario
+from repro.units import minutes
+
+from tests.conftest import line_topology
+from tests.test_golden_trace import GOLDEN_DIGEST, run_scenario
+
+_BENCHMARKS = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks")
+if _BENCHMARKS not in sys.path:
+    sys.path.insert(0, _BENCHMARKS)
+
+from result_logger import validate_record  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _clean_spans():
+    """Every test starts and ends with spans disabled and empty."""
+    spans.disable()
+    spans.reset()
+    yield
+    spans.disable()
+    spans.reset()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("msgs", help="messages")
+        counter.inc()
+        counter.inc(4)
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        histogram = registry.histogram("delay_ms")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        snap = registry.snapshot()
+        assert snap["msgs"] == 5
+        assert snap["depth"] == 7
+        assert snap["delay_ms"]["count"] == 4
+        assert snap["delay_ms"]["mean"] == pytest.approx(2.5)
+        assert snap["delay_ms"]["max"] == 4.0
+
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_negative_counter_increment_raises(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_callback_gauge_polled_at_snapshot(self):
+        registry = MetricsRegistry()
+        state = {"value": 1}
+        registry.gauge("live", fn=lambda: state["value"])
+        assert registry.snapshot()["live"] == 1
+        state["value"] = 9
+        assert registry.snapshot()["live"] == 9
+
+    def test_callback_gauge_rebinds(self):
+        registry = MetricsRegistry()
+        registry.gauge("live", fn=lambda: 1)
+        registry.gauge("live", fn=lambda: 2)  # a fresh bind takes over
+        assert registry.snapshot()["live"] == 2
+
+    def test_callback_gauge_rejects_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live", fn=lambda: 1)
+        with pytest.raises(ConfigurationError):
+            gauge.set(5)
+
+    def test_labeled_gauge_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("backlog", label="as_id", fn=lambda: {"1": 3, "2": 0})
+        assert registry.snapshot()["backlog"] == {"1": 3, "2": 0}
+
+    def test_reset_zeroes_owned_values_only(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(5)
+        registry.gauge("live", fn=lambda: 42)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["c"] == 0 and snap["g"] == 0
+        assert snap["live"] == 42
+        assert snap["h"]["count"] == 0
+
+    def test_snapshot_deterministic_under_seeded_runs(self):
+        """Two identical seeded runs produce identical registry snapshots."""
+
+        def run():
+            reset_perf_counters()
+            topology = line_topology(5)
+            scenario = don_scenario(periods=4, verify_signatures=True)
+            scenario.at(minutes(25)).fail_link(topology.link_ids()[1])
+            simulation = BeaconingSimulation(topology, scenario)
+            registry = MetricsRegistry()
+            bind_simulation(simulation, registry)
+            simulation.run()
+            return registry.snapshot()
+
+        assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# bounded queue-delay reservoir
+# ----------------------------------------------------------------------
+
+class TestQuantileReservoir:
+    def test_exact_until_capacity(self):
+        reservoir = QuantileReservoir(capacity=64)
+        values = [float(i) for i in range(50)]
+        for value in values:
+            reservoir.observe(value)
+        stats = reservoir.stats()
+        assert stats["count"] == 50
+        assert stats["mean"] == pytest.approx(sum(values) / 50)
+        assert stats["max"] == 49.0
+        ordered = sorted(values)
+        assert stats["p50"] == ordered[int(0.50 * 50)]
+        assert stats["p99"] == ordered[min(49, int(0.99 * 50))]
+
+    def test_bounded_memory_and_quantile_tolerance_100k(self):
+        """The satellite regression: 100k observations, fixed memory,
+        p50/p99 within tolerance of the exact stream quantiles."""
+        import random as random_module
+
+        rng = random_module.Random(99)
+        stream = [rng.expovariate(1.0 / 40.0) for _ in range(100_000)]
+        reservoir = QuantileReservoir(capacity=4096, seed=0)
+        for value in stream:
+            reservoir.observe(value)
+        assert reservoir.sample_size == 4096  # bounded, not 100k
+        stats = reservoir.stats()
+        assert stats["count"] == 100_000
+        assert stats["mean"] == pytest.approx(sum(stream) / len(stream))
+        assert stats["max"] == max(stream)
+        ordered = sorted(stream)
+        exact_p50 = ordered[int(0.50 * len(ordered))]
+        exact_p99 = ordered[int(0.99 * len(ordered))]
+        assert stats["p50"] == pytest.approx(exact_p50, rel=0.10)
+        assert stats["p99"] == pytest.approx(exact_p99, rel=0.10)
+
+    def test_deterministic_for_fixed_seed(self):
+        def fill():
+            reservoir = QuantileReservoir(capacity=16, seed=3)
+            for index in range(1000):
+                reservoir.observe(float(index % 97))
+            return reservoir.stats()
+
+        assert fill() == fill()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            QuantileReservoir(capacity=0)
+
+
+class TestCollectorQueueDelays:
+    def test_100k_delays_stay_bounded_with_stable_stats(self):
+        collector = MetricsCollector()
+        for index in range(100_000):
+            collector.record_queue_delay(1, float(index % 500))
+        assert collector._queue_delays.sample_size <= 4096
+        stats = collector.queue_delay_stats()
+        assert stats["count"] == 100_000
+        assert stats["max"] == 499.0
+        assert stats["mean"] == pytest.approx(249.5, rel=0.01)
+        # The stream is uniform over [0, 500); the sampled percentiles
+        # must land near the exact ones.
+        assert stats["p50"] == pytest.approx(250.0, rel=0.10)
+        assert stats["p99"] == pytest.approx(495.0, rel=0.05)
+
+    def test_short_stream_is_bit_identical_to_unbounded_impl(self):
+        """Below the reservoir capacity the stats match the original
+        sort-everything implementation exactly (golden-trace safety)."""
+        delays = [3.5, 1.0, 99.0, 42.0, 17.25, 0.5, 63.0]
+        collector = MetricsCollector()
+        for delay in delays:
+            collector.record_queue_delay(1, delay)
+        ordered = sorted(delays)
+        count = len(ordered)
+        expected = {
+            "count": count,
+            "mean": sum(ordered) / count,
+            "max": ordered[-1],
+            "p50": ordered[min(count - 1, int(0.50 * count))],
+            "p99": ordered[min(count - 1, int(0.99 * count))],
+        }
+        assert collector.queue_delay_stats() == expected
+
+    def test_reset_clears_reservoir(self):
+        collector = MetricsCollector()
+        collector.record_queue_delay(1, 5.0)
+        collector.reset()
+        assert collector.queue_delay_stats()["count"] == 0
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+
+class TestSpans:
+    def test_disabled_records_nothing(self):
+        with spans.span("phase.a"):
+            pass
+        frame = spans.push("phase.b") if spans.ENABLED else None
+        assert frame is None
+        assert spans.snapshot() == {}
+
+    def test_enabled_accumulates_calls_and_time(self):
+        spans.enable()
+        for _ in range(3):
+            with spans.span("phase.a"):
+                pass
+        snap = spans.snapshot()
+        assert snap["phase.a"]["calls"] == 3
+        assert snap["phase.a"]["self_s"] >= 0.0
+        assert snap["phase.a"]["total_s"] >= snap["phase.a"]["self_s"]
+
+    def test_nesting_splits_self_and_total(self):
+        spans.enable()
+        with spans.span("outer"):
+            with spans.span("inner"):
+                pass
+        snap = spans.snapshot()
+        outer, inner = snap["outer"], snap["inner"]
+        # The child's total is carved out of the parent's self time.
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"], abs=1e-6
+        )
+        assert inner["self_s"] == pytest.approx(inner["total_s"])
+
+    def test_add_credits_leaf_and_parent_child_time(self):
+        spans.enable()
+        with spans.span("outer"):
+            spans.add("leaf", 0.25)
+        snap = spans.snapshot()
+        assert snap["leaf"] == {"calls": 1, "self_s": 0.25, "total_s": 0.25}
+        # The leaf's 0.25s is carved out of the outer span's self time
+        # (clamped at zero — the outer frame itself only ran for microseconds).
+        assert snap["outer"]["self_s"] == 0.0
+        assert snap["outer"]["self_s"] <= max(
+            0.0, snap["outer"]["total_s"] - 0.25
+        ) + 1e-6
+
+    def test_reentrant_same_phase(self):
+        spans.enable()
+
+        def recurse(depth):
+            with spans.span("recursive"):
+                if depth:
+                    recurse(depth - 1)
+
+        recurse(3)
+        snap = spans.snapshot()
+        assert snap["recursive"]["calls"] == 4
+        # Self times of nested same-name frames are disjoint: their sum
+        # cannot exceed the outermost call's total.
+        assert snap["recursive"]["self_s"] <= snap["recursive"]["total_s"] + 1e-9
+
+    def test_exception_pops_frame(self):
+        spans.enable()
+        with pytest.raises(ValueError):
+            with spans.span("exploding"):
+                raise ValueError("boom")
+        assert spans.snapshot()["exploding"]["calls"] == 1
+        with spans.span("after"):
+            pass
+        assert spans.snapshot()["after"]["calls"] == 1
+
+    def test_pop_survives_disable_between_push_and_pop(self):
+        spans.enable()
+        frame = spans.push("orphan")
+        spans.disable()  # clears the stack
+        spans.pop(frame)  # must not raise
+        assert "orphan" not in spans.snapshot()
+
+    def test_attribution_table_and_coverage(self):
+        spans.enable()
+        with spans.span("phase.a"):
+            spans.add("phase.b", 0.1)
+        spans.disable()
+        snap = spans.snapshot()
+        wall = 0.2
+        table = spans.attribution_table(wall, stats=snap)
+        assert "phase.a" in table and "phase.b" in table
+        assert "coverage" in table and "(unattributed)" in table
+        assert spans.coverage(wall, snap) >= 0.5  # phase.b alone is 0.1/0.2
+
+    def test_zero_allocation_at_disabled_hot_seams(self):
+        """With spans disabled, the instrumented crypto seam allocates
+        nothing inside the spans module (the <2%-overhead guarantee)."""
+        key = derive_key(1)
+        message = b"x" * 64
+        signature = key.sign(message)
+        spans_file = spans.__file__
+        tracemalloc.start()
+        try:
+            for _ in range(200):
+                key.sign(message)
+                key.verify(message, signature)
+                with_frame = spans.ENABLED  # the hot-seam guard pattern
+                assert not with_frame
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        from_spans = snapshot.filter_traces(
+            (tracemalloc.Filter(True, spans_file),)
+        )
+        assert sum(stat.size for stat in from_spans.statistics("filename")) == 0
+        assert spans.snapshot() == {}
+
+
+# ----------------------------------------------------------------------
+# bridge + exporters
+# ----------------------------------------------------------------------
+
+def _small_sim(periods=3, verify=True):
+    topology = line_topology(5)
+    scenario = don_scenario(periods=periods, verify_signatures=verify)
+    return topology, scenario
+
+
+class TestBridgeAndExporters:
+    def test_bind_simulation_exposes_whole_system_state(self):
+        topology, scenario = _small_sim()
+        simulation = BeaconingSimulation(topology, scenario)
+        registry = MetricsRegistry()
+        bind_simulation(simulation, registry)
+        simulation.run()
+        snap = registry.snapshot()
+        assert snap["sim.pcbs_sent_total"] == simulation.collector.total_sent > 0
+        assert snap["sim.periods_run"] == 3
+        assert snap["crypto.signature_verify_total"] > 0
+        assert snap["scheduler.processed_events_total"] > 0
+        assert set(snap["fabric.inbox_backlog"]) == {"1", "2", "3", "4", "5"}
+        assert set(snap["fabric.queue_delay_ms"]) == {"count", "mean", "max", "p50", "p99"}
+
+    def test_aggregation_counters_for_simultaneous_failures(self):
+        """The carried-over ROADMAP follow-up: driver-side aggregation
+        stats are recorded and visible through the registry."""
+        topology = line_topology(5)
+        scenario = don_scenario(periods=6, verify_signatures=False)
+        links = topology.link_ids()
+        # Two same-tick failures sharing AS 3: its origination batches
+        # both elements into one multi-element RevocationMessage.
+        scenario.at(minutes(25)).fail_link(links[1]).fail_link(links[2])
+        simulation = BeaconingSimulation(topology, scenario)
+        registry = MetricsRegistry()
+        bind_simulation(simulation, registry)
+        simulation.run()
+        collector = simulation.collector
+        assert collector.revocation_batches >= 2  # each endpoint originates
+        assert collector.revocation_multi_batches >= 1  # AS 3 batched two
+        assert collector.revocation_batch_max == 2
+        assert collector.revocation_batch_elements > collector.revocation_batches
+        snap = registry.snapshot()
+        assert snap["sim.revocation_batches_total"] == collector.revocation_batches
+        assert snap["sim.revocation_batch_elements_max"] == 2
+        assert snap["sim.revocation_multi_batches_total"] == collector.revocation_multi_batches
+
+    def test_single_failure_batches_are_single_element(self):
+        topology = line_topology(5)
+        scenario = don_scenario(periods=6, verify_signatures=False)
+        scenario.at(minutes(25)).fail_link(topology.link_ids()[1])
+        simulation = BeaconingSimulation(topology, scenario)
+        simulation.run()
+        collector = simulation.collector
+        assert collector.revocation_batches == 2  # both endpoints
+        assert collector.revocation_multi_batches == 0
+        assert collector.revocation_batch_max == 1
+        assert collector.revocation_batch_elements == 2
+
+    def test_prometheus_text_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs", help="messages sent").inc(41)
+        registry.gauge("depth").set(7.5)
+        registry.gauge("backlog", label="as_id", fn=lambda: {"1": 3, "2": 0})
+        histogram = registry.histogram("delay_ms", help="queue delay")
+        for value in (1.0, 5.0, 9.0):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_msgs counter" in text
+        assert "# HELP repro_msgs messages sent" in text
+        assert "# TYPE repro_delay_ms summary" in text
+        assert 'repro_backlog{as_id="1"} 3' in text
+        assert parse_prometheus_text(text) == registry_samples(registry)
+
+    def test_prometheus_round_trip_after_real_run(self):
+        topology, scenario = _small_sim()
+        simulation = BeaconingSimulation(topology, scenario)
+        registry = MetricsRegistry()
+        bind_simulation(simulation, registry)
+        simulation.run()
+        text = prometheus_text(registry)
+        assert parse_prometheus_text(text) == registry_samples(registry)
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not a sample\n")
+
+
+class TestTelemetrySampler:
+    def test_one_sample_per_period_with_expected_keys(self):
+        topology, scenario = _small_sim(periods=4)
+        simulation = BeaconingSimulation(topology, scenario)
+        sampler = TelemetrySampler(simulation).attach()
+        simulation.run()
+        assert len(sampler.samples) == 4
+        for sample in sampler.samples:
+            for key in (
+                "pcbs_sent", "pcbs_per_s", "crypto_ops_per_s",
+                "queue_delay_p50_ms", "queue_delay_p99_ms",
+                "inbox_backlog_total", "inbox_backlog_max",
+            ):
+                assert key in sample.values
+        assert sampler.samples[0].values["pcbs_sent"] > 0
+        assert sampler.samples[0].values["pcbs_per_s"] > 0
+        periods = [sample.period for sample in sampler.samples]
+        assert periods == [0, 1, 2, 3]
+        times = [sample.time_ms for sample in sampler.samples]
+        assert times == sorted(times)
+
+    def test_records_conform_to_result_logger_schema(self):
+        topology, scenario = _small_sim(periods=2)
+        simulation = BeaconingSimulation(topology, scenario)
+        sampler = TelemetrySampler(simulation).attach()
+        simulation.run()
+        records = sampler.to_records(scenario="unit", scale="tiny", seed=5)
+        assert len(records) == 2
+        for record in records:
+            validate_record(record)  # raises on schema violation
+            assert record["scenario"] == "unit"
+            assert record["metrics"]["pcbs_sent"] > 0
+
+    def test_timeline_points(self):
+        topology, scenario = _small_sim(periods=2)
+        simulation = BeaconingSimulation(topology, scenario)
+        sampler = TelemetrySampler(simulation).attach()
+        simulation.run()
+        points = sampler.timeline("pcbs_per_s")
+        assert len(points) == 2
+        assert all(value > 0 for _time, value in points)
+
+
+# ----------------------------------------------------------------------
+# golden-trace safety
+# ----------------------------------------------------------------------
+
+class TestTelemetryNeverChangesGoldenTrace:
+    @settings(max_examples=4, deadline=None)
+    @given(spans_on=st.booleans(), sampler_on=st.booleans())
+    def test_golden_digest_invariant_under_telemetry(self, spans_on, sampler_on):
+        """Any combination of observatory features leaves the pinned
+        golden digest untouched — telemetry observes, never perturbs."""
+
+        def instrument(simulation):
+            registry = MetricsRegistry()
+            bind_simulation(simulation, registry)
+            if sampler_on:
+                TelemetrySampler(simulation).attach()
+            if spans_on:
+                spans.reset()
+                spans.enable()
+
+        try:
+            trace = run_scenario(instrument=instrument)
+        finally:
+            spans.disable()
+            spans.reset()
+        digest = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+        assert digest == GOLDEN_DIGEST
