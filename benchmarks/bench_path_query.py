@@ -1,0 +1,52 @@
+"""Path-query serving benchmark — the tiered per-AS lookup tier.
+
+Since PR 9 path lookups go through each AS's
+:class:`~repro.core.query.PathQueryFrontend`: typed
+:class:`~repro.core.query.PathQuery` objects resolved against a bounded,
+expiry-aware response cache that revocation-driven withdrawal invalidates
+precisely (never by scan).  This benchmark runs the canonical serving
+workload (``run_benchmarks.run_path_query``) at the conftest scale: a
+two-period beaconing warm-up, a timed cache-hit throughput loop over a
+pinned per-AS query mix (headline ``lookups_per_s``; target >= 1M/s at
+medium scale), then a seeded revocation-churn phase that samples
+per-lookup latencies against the partially invalidated caches.
+
+Like the other paper-scale simulations this is excluded from tier-1; run
+it with ``-m slow`` (``IREC_BENCH_SCALE`` selects the topology size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generator import generate_topology
+
+from conftest import bench_topology_config
+from run_benchmarks import run_path_query
+
+#: Full multi-period simulations; excluded from the default tier-1 run.
+pytestmark = pytest.mark.slow
+
+
+def test_path_query_report(capsys):
+    """Run the serving workload and print the throughput/latency report."""
+    report = run_path_query(generate_topology(bench_topology_config()))
+    churn = report["churn"]
+    cache = report["cache"]
+    with capsys.disabled():
+        print(
+            f"\nPath-query serving — {report['queries']} distinct queries over "
+            f"{report['ases']} ASes: {report['lookups']:,} lookups at "
+            f"{report['lookups_per_s']:,.0f}/s; churn of {churn['failures']} "
+            f"withdrawals: p99 {churn['p99_us']:.1f}us over "
+            f"{churn['latency_samples']} samples "
+            f"({cache['invalidations']} invalidations, "
+            f"hit ratio {cache['hit_ratio']:.3f})"
+        )
+    # The steady-state loop is all cache hits, churn really invalidated
+    # cached responses, and the tier sustains a meaningful lookup rate
+    # even at small scale.
+    assert report["lookups"] > 0
+    assert cache["invalidations"] > 0
+    assert cache["hit_ratio"] > 0.9
+    assert report["lookups_per_s"] > 100_000

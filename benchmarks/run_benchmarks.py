@@ -53,7 +53,17 @@ Stages
                               drained once with batched per-AS inboxes
                               (the default) and once in per-message mode
                               (``batch_size=1``); reports messages/s for
-                              both plus the batch speedup (added in PR 5).
+                              both plus the batch speedup (added in PR 5),
+* ``path_query``            — the path-query serving tier: after a warmed
+                              beaconing run, every AS's
+                              ``PathQueryFrontend`` serves a pinned mix of
+                              plain and policy-filtered queries from its
+                              response cache (reports ``lookups_per_s``),
+                              then a seeded revocation-churn phase
+                              alternates link withdrawals with sampled
+                              per-lookup latencies (reports the p99 and
+                              the cache hit/invalidation counters)
+                              (added in PR 9).
 
 ``--fail-on-regression PCT`` (used by CI together with ``--baseline``)
 exits non-zero when any stage's throughput drops by more than PCT percent
@@ -513,6 +523,141 @@ def stage_message_fabric(scale: str) -> dict:
     }
 
 
+def run_path_query(
+    topology,
+    target_lookups: int = 2_000_000,
+    queries_per_as: int = 8,
+    churn_links: int = 12,
+    samples_per_wave: int = 400,
+    drain_ms: float = 60_000.0,
+) -> dict:
+    """Serve a pinned query mix from every AS's path-query frontend.
+
+    Two phases, shared by the ``path_query`` stage and
+    ``benchmarks/bench_path_query.py``:
+
+    1. **Throughput** — after a two-period beaconing warm-up populates the
+       per-AS path services, each AS gets a pinned mix of plain and
+       policy-filtered :class:`~repro.core.query.PathQuery` objects over
+       the origins it knows.  One pass warms the response caches, then a
+       timed tight loop replays the whole mix until ``target_lookups``
+       lookups have been served — the steady state the serving tier is
+       built for, so the headline ``lookups_per_s`` is effectively the
+       cache-hit rate.
+    2. **Revocation churn** — a seeded batch of link failures is applied
+       one wave at a time; each wave originates real revocation floods,
+       drains them, then samples per-lookup wall latencies across the
+       (now partially invalidated) frontends.  The reported ``p99_us``
+       covers re-materialization misses, and the frontend counters show
+       how much of the cache the churn actually invalidated.
+    """
+    import gc
+    import random
+
+    from repro.core.query import PathQuery
+    from repro.simulation.beaconing import BeaconingSimulation
+
+    scenario = don_scenario(periods=2, verify_signatures=False)
+    simulation = BeaconingSimulation(topology, scenario)
+    simulation.run()  # warm-up: populate the per-AS path services
+    scheduler = simulation.scheduler
+    now_ms = scheduler.now_ms
+
+    # Pinned per-AS query mix: plain queries over the first origins each
+    # AS knows, plus policy-filtered variants (tag + latency ceiling) that
+    # exercise the admission predicate and distinct cache keys.
+    bound = []  # (frontend.query, query) pairs — pre-bound for the hot loop
+    for as_id in sorted(simulation.services):
+        service = simulation.services[as_id]
+        frontend = service.query_frontend
+        origins = sorted({
+            path.segment.origin_as for path in service.path_service.all_paths()
+        })
+        for origin in origins[:queries_per_as]:
+            bound.append((frontend.query, PathQuery(origin_as=origin)))
+        for origin in origins[: max(1, queries_per_as // 4)]:
+            bound.append(
+                (frontend.query, PathQuery(origin_as=origin, max_latency_ms=500.0))
+            )
+    for lookup, query in bound:  # warm the response caches
+        lookup(query, now_ms=now_ms)
+
+    rounds = max(1, target_lookups // max(1, len(bound)))
+    gc.collect()
+    gc.freeze()
+    try:
+        start = time.perf_counter()
+        for _round in range(rounds):
+            for lookup, query in bound:
+                lookup(query, now_ms)
+        wall_s = time.perf_counter() - start
+    finally:
+        gc.unfreeze()
+    lookups = rounds * len(bound)
+
+    # Churn phase: withdraw links wave by wave, sampling lookup latencies
+    # against the partially invalidated caches after each flood drains.
+    rng = random.Random(17)
+    pool = list(topology.link_ids())
+    chosen = rng.sample(pool, k=min(churn_links, max(1, len(pool) // 4)))
+    latencies_us = []
+    for link_id in chosen:
+        simulation.link_state.fail_link(link_id)
+        (as_a, _), (as_b, _) = link_id
+        for as_id in sorted({as_a, as_b}):
+            if simulation.link_state.is_as_up(as_id):
+                simulation.services[as_id].originate_revocation(
+                    now_ms=scheduler.now_ms, failed_link=link_id
+                )
+        scheduler.run_until(scheduler.now_ms + drain_ms)
+        now_ms = scheduler.now_ms
+        for lookup, query in bound[:samples_per_wave]:
+            sample_start = time.perf_counter()
+            lookup(query, now_ms)
+            latencies_us.append((time.perf_counter() - sample_start) * 1e6)
+
+    latencies_us.sort()
+    p99_us = (
+        latencies_us[min(len(latencies_us) - 1, int(0.99 * len(latencies_us)))]
+        if latencies_us
+        else 0.0
+    )
+    frontends = [service.query_frontend for service in simulation.services.values()]
+    hits = sum(f.hits for f in frontends)
+    total = sum(f.lookups for f in frontends)
+    return {
+        "wall_s": wall_s,
+        "lookups": lookups,
+        "lookups_per_s": lookups / wall_s if wall_s > 0 else 0.0,
+        "queries": len(bound),
+        "churn": {
+            "failures": len(chosen),
+            "latency_samples": len(latencies_us),
+            "p99_us": p99_us,
+            "mean_us": (
+                sum(latencies_us) / len(latencies_us) if latencies_us else 0.0
+            ),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": sum(f.misses for f in frontends),
+            "invalidations": sum(f.invalidations for f in frontends),
+            "evictions": sum(f.evictions for f in frontends),
+            "hit_ratio": hits / total if total else 0.0,
+        },
+        "ases": topology.num_ases,
+    }
+
+
+def stage_path_query(scale: str) -> dict:
+    """Path-query serving throughput plus the churn-phase latency tail."""
+    topology = generate_topology(scale_topology_config(scale))
+    reset_perf_counters()
+    report = run_path_query(topology)
+    report["crypto_ops"] = perf_counters()
+    return report
+
+
 def stage_control_overload(scale: str) -> dict:
     """Bounded-inbox revocation storm: throughput plus the queueing tail.
 
@@ -664,6 +809,8 @@ def _stage_throughput(stage: dict) -> float:
             return sum(throughputs) / len(throughputs)
     if "flow_rounds_per_s" in stage:
         return stage["flow_rounds_per_s"]
+    if "lookups_per_s" in stage:
+        return stage["lookups_per_s"]
     if "messages_per_s" in stage:
         return stage["messages_per_s"]
     return stage.get("beacons_per_s", 0.0)
@@ -752,7 +899,7 @@ def git_revision() -> dict:
 def run_all(scale: str, periods: int, profile: bool = False) -> dict:
     report = {
         "meta": {
-            "harness": "run_benchmarks.py v3 (PR 8)",
+            "harness": "run_benchmarks.py v4 (PR 9)",
             "scale": scale,
             "periods": periods,
             "profile": profile,
@@ -770,6 +917,7 @@ def run_all(scale: str, periods: int, profile: bool = False) -> dict:
         ("dynamic_convergence", lambda: stage_dynamic_convergence(scale, periods)),
         ("revocation", lambda: stage_revocation(scale)),
         ("message_fabric", lambda: stage_message_fabric(scale)),
+        ("path_query", lambda: stage_path_query(scale)),
         ("control_overload", lambda: stage_control_overload(scale)),
         ("traffic", lambda: stage_traffic(scale)),
     )

@@ -33,8 +33,12 @@ from repro.core.messages import (
     ControlMessage,
     MessageEnvelope,
     PCBMessage,
+    PathQueryMessage,
+    PathQueryResponse,
     PathRegistrationMessage,
+    PullReturnMessage,
 )
+from repro.core.query import PathQuery, PathQueryFrontend
 from repro.core.revocation import RevocationMessage, RevocationState
 from repro.core.staticinfo import StaticInfo
 
@@ -50,7 +54,12 @@ __all__ = [
     "MessageEnvelope",
     "Objective",
     "PCBMessage",
+    "PathQuery",
+    "PathQueryFrontend",
+    "PathQueryMessage",
+    "PathQueryResponse",
     "PathRegistrationMessage",
+    "PullReturnMessage",
     "RevocationMessage",
     "RevocationState",
     "StandardMetrics",

@@ -38,10 +38,14 @@ from repro.core.interface_groups import (
 from repro.core.local_view import LocalTopologyView
 from repro.core.messages import (
     ControlMessage,
+    PathQueryMessage,
+    PathQueryResponse,
     PathRegistrationMessage,
     PCBMessage,
+    PullReturnMessage,
 )
 from repro.core.ondemand import OnDemandAlgorithmManager
+from repro.core.query import DEFAULT_CACHE_CAPACITY, PathQuery, PathQueryFrontend
 from repro.core.rac import (
     RACConfig,
     RACExecutionReport,
@@ -81,6 +85,14 @@ class ControlServiceConfig:
             never survives in one store after another dropped it.
         revocation_dedup_window_ms: How long the service remembers
             processed revocation ``(origin, sequence)`` keys.
+        query_cache_capacity: LRU bound of the path-query frontend's
+            materialized-response cache.
+        register_down_segments: When enabled, every path this AS registers
+            locally is additionally announced back along the segment as a
+            ``register_at_origin`` path-registration message, so the
+            origin (core) AS learns it as a down-segment on message
+            arrival.  Off by default — the extra messages would change
+            pinned traces.
     """
 
     verify_signatures: bool = True
@@ -89,6 +101,8 @@ class ControlServiceConfig:
     originate_with_groups: bool = True
     expiry_margin_ms: float = 0.0
     revocation_dedup_window_ms: float = DEFAULT_DEDUP_WINDOW_MS
+    query_cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    register_down_segments: bool = False
 
 
 def purge_link_state(as_id, ingress_database, path_service, link_id: LinkID) -> Tuple[int, int]:
@@ -134,9 +148,26 @@ def handle_path_registration(
     reaches this AS now is fresh now, which is the timestamp contract the
     convergence collector's sub-period recovery detection relies on.
     Expired segments are dropped (the offer outlived its path).
+
+    ``register_at_origin`` messages are down-segment announcements: a
+    transit AS on the segment forwards the message one hop toward the
+    origin (out its own reverse/ingress interface of the segment) without
+    registering, and only the origin AS registers it — registration is
+    driven entirely by message arrival.
     """
     path = message.path
     if path.segment.is_expired(now_ms):
+        return False
+    if message.register_at_origin and path.segment.origin_as != service.as_id:
+        for entry in path.segment.entries:
+            if entry.as_id == service.as_id:
+                if entry.ingress_interface is None:
+                    return False
+                service.transport.send_message(
+                    service.as_id, entry.ingress_interface, message
+                )
+                return True
+        # Not on the segment's path: a misrouted announcement, drop it.
         return False
     return service.path_service.register(
         RegisteredPath(
@@ -145,6 +176,32 @@ def handle_path_registration(
             registered_at_ms=now_ms,
         )
     )
+
+
+def handle_path_query(
+    service, message: PathQueryMessage, on_interface: int, now_ms: float
+) -> PathQueryResponse:
+    """Serve a remote path query through ``service``'s query frontend.
+
+    The response echoes the request's ``(origin_as, sequence)`` so the
+    requester can correlate it, and travels back over the interface the
+    query arrived on.  A locally dispatched query (``on_interface < 0``)
+    gets its response returned instead of sent.
+    """
+    result = service.query_frontend.query(message.query, now_ms=now_ms)
+    response = PathQueryResponse(
+        origin_as=service.as_id,
+        sequence=service.next_message_sequence(),
+        created_at_ms=now_ms,
+        query=message.query,
+        paths=result.paths,
+        cache_hit=result.cache_hit,
+        request_origin=message.origin_as,
+        request_sequence=message.sequence,
+    )
+    if on_interface >= 0:
+        service.transport.send_message(service.as_id, on_interface, response)
+    return response
 
 
 def dispatch_message(service, message: ControlMessage, on_interface: int, now_ms: float):
@@ -163,6 +220,12 @@ def dispatch_message(service, message: ControlMessage, on_interface: int, now_ms
         return service.on_revocation(message, on_interface=on_interface, now_ms=now_ms)
     if isinstance(message, PathRegistrationMessage):
         return handle_path_registration(service, message, now_ms)
+    if isinstance(message, PullReturnMessage):
+        return service.receive_returned_beacon(message.beacon, now_ms=now_ms)
+    if isinstance(message, PathQueryMessage):
+        return handle_path_query(service, message, on_interface, now_ms)
+    if isinstance(message, PathQueryResponse):
+        return service.receive_query_response(message, now_ms=now_ms)
     raise SimulationError(f"unsupported control message {message!r}")
 
 
@@ -272,6 +335,17 @@ class IrecControlService:
         self.racs: List[RoutingAlgorithmContainer] = []
         self.repository = AlgorithmRepository(as_id=view.as_id)
         self.pull_results: List[Tuple[Beacon, float]] = []
+        #: The serving tier end hosts query instead of touching the path
+        #: service directly; subscribes itself to the service's
+        #: invalidation hook.  The simulation attaches its scheduler as
+        #: the frontend's clock.
+        self.query_frontend = PathQueryFrontend(
+            self.egress.path_service, capacity=self.config.query_cache_capacity
+        )
+        #: Responses to queries this AS sent, as ``(response, arrived_ms)``.
+        self.query_responses: List[Tuple[PathQueryResponse, float]] = []
+        if self.config.register_down_segments:
+            self.egress.collect_registered = True
         self.revocations = RevocationState(
             dedup_window_ms=self.config.revocation_dedup_window_ms
         )
@@ -488,6 +562,33 @@ class IrecControlService:
         self.transport.send_message(self.as_id, egress_interface, message)
         return message
 
+    def next_message_sequence(self) -> int:
+        """Return the next non-revocation envelope sequence number."""
+        return next(self._message_sequence)
+
+    def send_path_query(
+        self, egress_interface: int, query: PathQuery, now_ms: float
+    ) -> PathQueryMessage:
+        """Ask the neighbour over ``egress_interface`` for paths.
+
+        The answer arrives later as a :class:`PathQueryResponse` through
+        the fabric and lands in :attr:`query_responses`.
+        """
+        message = PathQueryMessage(
+            origin_as=self.as_id,
+            sequence=next(self._message_sequence),
+            created_at_ms=now_ms,
+            query=query,
+        )
+        self.transport.send_message(self.as_id, egress_interface, message)
+        return message
+
+    def receive_query_response(
+        self, response: PathQueryResponse, now_ms: float
+    ) -> None:
+        """Handle the answer to a query this AS sent earlier."""
+        self.query_responses.append((response, now_ms))
+
     def receive_beacon(self, beacon: Beacon, on_interface: int, now_ms: float) -> bool:
         """Handle a PCB delivered by a neighbouring AS.
 
@@ -585,6 +686,21 @@ class IrecControlService:
 
         report.propagated = self.egress.propagate(all_selections)
         report.registered = self.egress.register(all_selections, now_ms=now_ms)
+        if self.config.register_down_segments:
+            # Announce each freshly registered path back along the segment:
+            # the message hops toward the origin, which registers it as a
+            # down-segment on arrival (see handle_path_registration).
+            for path, arrival_interface in self.egress.take_registered():
+                if arrival_interface is None:
+                    continue
+                announcement = PathRegistrationMessage(
+                    origin_as=self.as_id,
+                    sequence=next(self._message_sequence),
+                    created_at_ms=now_ms,
+                    path=path,
+                    register_at_origin=True,
+                )
+                self.transport.send_message(self.as_id, arrival_interface, announcement)
         self.ingress.expire(now_ms)
         self.egress.expire(now_ms)
         return report

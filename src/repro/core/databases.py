@@ -339,6 +339,11 @@ class PathService:
     ``expiry_margin_ms`` mirrors :class:`IngressDatabase`: expiry drops
     paths whose segment expires within the margin, keeping all per-AS
     stores on one horizon.
+
+    Mutations that touch a digest (registration, merge, withdrawal, expiry
+    purge) notify the registered invalidation listeners with the affected
+    origin AS — the hook the query-frontend cache uses to invalidate
+    precisely instead of scanning.
     """
 
     max_paths_per_key: int = 20
@@ -355,6 +360,25 @@ class PathService:
     _by_link: Dict[LinkID, Dict[str, None]] = field(default_factory=dict)
     #: AS → digests of registered segments whose path contains it.
     _by_as: Dict[int, Dict[str, None]] = field(default_factory=dict)
+    #: Origin AS → digests of registered segments starting there, in
+    #: insertion order (dict-as-ordered-set), so ``paths_to`` is indexed
+    #: instead of a full ``_by_digest`` scan.  Merges replace the record
+    #: in ``_by_digest`` without moving it, so per-origin insertion order
+    #: equals the scan's filtered order and results are identical.
+    _by_origin: Dict[int, Dict[str, None]] = field(default_factory=dict)
+    #: Terminal (registering) AS → digests ending there: the index down-
+    #: segment registration at core ASes serves destination queries from.
+    _by_terminal: Dict[int, Dict[str, None]] = field(default_factory=dict)
+    _invalidation_listeners: List[Callable[[int], None]] = field(default_factory=list)
+
+    def add_invalidation_listener(self, listener: Callable[[int], None]) -> None:
+        """Call ``listener(origin_as)`` whenever a digest with that origin
+        is registered, merged, withdrawn, or purged by expiry."""
+        self._invalidation_listeners.append(listener)
+
+    def _notify_invalidation(self, origin_as: int) -> None:
+        for listener in self._invalidation_listeners:
+            listener(origin_as)
 
     def register(self, path: RegisteredPath) -> bool:
         """Register ``path``; return whether it was accepted (or merged)."""
@@ -375,6 +399,8 @@ class PathService:
                     path.last_registered_at_ms or path.registered_at_ms,
                 ),
             )
+            if self._invalidation_listeners:
+                self._notify_invalidation(existing.segment.origin_as)
             return True
 
         consumed = []
@@ -392,11 +418,31 @@ class PathService:
             self._by_link.setdefault(link, {})[digest] = None
         for as_id in path.segment.as_path():
             self._by_as.setdefault(as_id, {})[digest] = None
+        origin_as = path.segment.origin_as
+        self._by_origin.setdefault(origin_as, {})[digest] = None
+        self._by_terminal.setdefault(path.segment.last_as, {})[digest] = None
+        if self._invalidation_listeners:
+            self._notify_invalidation(origin_as)
         return True
 
     def paths_to(self, origin_as: int) -> List[RegisteredPath]:
-        """Return every registered path whose origin is ``origin_as``."""
-        return [p for p in self._by_digest.values() if p.segment.origin_as == origin_as]
+        """Return every registered path whose origin is ``origin_as``.
+
+        Indexed through ``_by_origin`` — O(matching paths), never a scan —
+        and order-identical to the historical ``_by_digest`` filter.
+        """
+        by_digest = self._by_digest
+        return [by_digest[d] for d in self._by_origin.get(origin_as, ())]
+
+    def down_paths_to(self, terminal_as: int) -> List[RegisteredPath]:
+        """Return every registered segment *ending* at ``terminal_as``.
+
+        At a core AS that accepts down-segment registrations
+        (``register_at_origin`` path-registration messages), this is the
+        destination-keyed view: segments usable to reach ``terminal_as``.
+        """
+        by_digest = self._by_digest
+        return [by_digest[d] for d in self._by_terminal.get(terminal_as, ())]
 
     def get(self, digest: str) -> Optional[RegisteredPath]:
         """Return the registered path with segment ``digest``, if present.
@@ -416,10 +462,11 @@ class PathService:
         (Recovery dating uses first-registration times of usable paths
         instead — see ``BeaconingSimulation._latest_usable_registration``.)
         """
+        by_digest = self._by_digest
         times = [
-            path.last_registered_at_ms
-            for path in self._by_digest.values()
-            if path.segment.origin_as == origin_as and path.last_registered_at_ms is not None
+            by_digest[d].last_registered_at_ms
+            for d in self._by_origin.get(origin_as, ())
+            if by_digest[d].last_registered_at_ms is not None
         ]
         return max(times) if times else None
 
@@ -474,6 +521,7 @@ class PathService:
 
     def _remove_digests_inner(self, digests: Iterable[str]) -> int:
         removed = 0
+        touched_origins: Dict[int, None] = {}
         for digest in list(digests):
             path = self._by_digest.pop(digest, None)
             if path is None:
@@ -497,6 +545,21 @@ class PathService:
                     members.pop(digest, None)
                     if not members:
                         del self._by_as[as_id]
+            origin_as = path.segment.origin_as
+            members = self._by_origin.get(origin_as)
+            if members is not None:
+                members.pop(digest, None)
+                if not members:
+                    del self._by_origin[origin_as]
+            members = self._by_terminal.get(path.segment.last_as)
+            if members is not None:
+                members.pop(digest, None)
+                if not members:
+                    del self._by_terminal[path.segment.last_as]
+            touched_origins[origin_as] = None
+        if touched_origins and self._invalidation_listeners:
+            for origin_as in touched_origins:
+                self._notify_invalidation(origin_as)
         return removed
 
     def __len__(self) -> int:

@@ -65,6 +65,20 @@ class EgressGateway:
     path_service: PathService = field(default_factory=PathService)
     beacon_validity_ms: float = DEFAULT_VALIDITY_MS
     stats: EgressStats = field(default_factory=EgressStats)
+    #: When enabled, successful registrations are additionally collected as
+    #: ``(path, arrival_interface)`` pairs until :meth:`take_registered`
+    #: drains them — the down-segment announcement feed.  Off by default so
+    #: the registration hot path stays allocation-free.
+    collect_registered: bool = False
+    _registered_feed: List[Tuple[RegisteredPath, Optional[int]]] = field(
+        default_factory=list
+    )
+
+    def take_registered(self) -> List[Tuple[RegisteredPath, Optional[int]]]:
+        """Drain and return the collected ``(path, arrival_interface)`` pairs."""
+        drained = self._registered_feed
+        self._registered_feed = []
+        return drained
 
     @property
     def as_id(self) -> int:
@@ -220,6 +234,10 @@ class EgressGateway:
             if self.path_service.register(path):
                 self.stats.registered += 1
                 registered += 1
+                if self.collect_registered:
+                    self._registered_feed.append(
+                        (path, selection.stored.received_on_interface)
+                    )
         return registered
 
     def expire(self, now_ms: float) -> Tuple[int, int]:

@@ -26,7 +26,18 @@ Message types
   that many hops — the envelope's hop path is the witness).
 * :class:`PathRegistrationMessage` — a terminated path segment offered to
   a neighbouring AS's path service, turning path registration from a
-  direct method call into first-class control-plane traffic.
+  direct method call into first-class control-plane traffic.  With
+  ``register_at_origin`` set, the message travels hop-by-hop back along
+  the segment and is registered as a *down-segment* at the origin (core)
+  AS — driven by message arrival, not by direct call.
+* :class:`PullReturnMessage` — a pull-requested beacon travelling back to
+  the AS that asked for it.  The typed replacement for the historical
+  ``transport.return_beacon_to_origin`` side channel: the transports now
+  frame the returned beacon as this message and deliver it through the
+  same ``on_message`` dispatch as every other control message.
+* :class:`PathQueryMessage` / :class:`PathQueryResponse` — a typed path
+  lookup against a remote AS's query frontend and its materialized
+  answer, correlated by the requester's ``(origin_as, sequence)``.
 
 Hop tracking
 ------------
@@ -46,6 +57,7 @@ from typing import ClassVar, NamedTuple, Optional, Tuple
 
 from repro.core.beacon import Beacon, _memo
 from repro.core.databases import RegisteredPath
+from repro.core.query import PathQuery
 from repro.crypto.signer import Signer, Verifier
 from repro.exceptions import ConfigurationError
 from repro.topology.entities import LinkID, normalize_link_id
@@ -330,6 +342,12 @@ class PathRegistrationMessage(ControlMessage):
     """
 
     path: Optional[RegisteredPath] = None
+    #: When set, the message is not for the adjacent AS but for the
+    #: segment's *origin*: transit ASes on the segment forward it one hop
+    #: toward the origin (their own reverse interface), and only the
+    #: origin registers it — as a down-segment.  Default off, so existing
+    #: neighbour registration is untouched.
+    register_at_origin: bool = False
 
     kind: ClassVar[str] = "path_registration"
 
@@ -346,5 +364,106 @@ class PathRegistrationMessage(ControlMessage):
     def trace_label(self) -> str:
         return (
             f"register origin={self.path.segment.origin_as} "
+            f"from={self.origin_as} seq={self.sequence}"
+        )
+
+
+@dataclass(frozen=True)
+class PullReturnMessage(ControlMessage):
+    """A pull-requested beacon travelling back to the requesting AS.
+
+    The typed framing of what used to be the ``return_beacon_to_origin``
+    transport side channel.  Like a PCB, the carried beacon's own AS path
+    is the historical hop record, so no fabric-side hop stamping is
+    needed; the message travels the beacon's full reverse path in one
+    simulated step (latency = the beacon's end-to-end propagation delay),
+    exactly as the side channel did.
+    """
+
+    beacon: Optional[Beacon] = None
+
+    kind: ClassVar[str] = "pull_return"
+
+    def __post_init__(self) -> None:
+        if self.beacon is None:
+            raise ConfigurationError("a pull-return message carries exactly one beacon")
+
+    def size_bytes(self) -> int:
+        """Return the size of the beacon's canonical encoding (memoized)."""
+        return _memo(self, "_size_bytes", lambda: len(self.beacon.encode()))
+
+    def trace_label(self) -> str:
+        return (
+            f"pull-return digest={self.beacon.digest()[:12]} "
+            f"origin={self.origin_as} seq={self.sequence}"
+        )
+
+
+@dataclass(frozen=True)
+class PathQueryMessage(ControlMessage):
+    """A typed path lookup sent to a neighbouring AS's query frontend.
+
+    The envelope's ``(origin_as, sequence)`` identifies the request; the
+    responder echoes it in :class:`PathQueryResponse` so the requester can
+    correlate answers.
+    """
+
+    query: Optional[PathQuery] = None
+
+    kind: ClassVar[str] = "path_query"
+
+    def __post_init__(self) -> None:
+        if self.query is None:
+            raise ConfigurationError("a path-query message carries exactly one query")
+
+    def size_bytes(self) -> int:
+        """Return the (small, fixed-ish) wire size: key fields + policy."""
+        return _memo(self, "_size_bytes", lambda: 24 + len(self.query.policy_key()))
+
+    def trace_label(self) -> str:
+        return (
+            f"query origin={self.query.origin_as} from={self.origin_as} "
+            f"seq={self.sequence}"
+        )
+
+
+@dataclass(frozen=True)
+class PathQueryResponse(ControlMessage):
+    """The materialized answer to one :class:`PathQueryMessage`.
+
+    Attributes:
+        query: The query being answered.
+        paths: The served paths, in the frontend's (registration) order.
+        cache_hit: Whether the frontend served this from its LRU cache —
+            observability only, never part of identity or wire size.
+        request_origin: ``origin_as`` of the request being answered.
+        request_sequence: ``sequence`` of the request being answered.
+    """
+
+    query: Optional[PathQuery] = None
+    paths: Tuple[RegisteredPath, ...] = ()
+    cache_hit: bool = False
+    request_origin: int = 0
+    request_sequence: int = 0
+
+    kind: ClassVar[str] = "path_query_response"
+
+    def __post_init__(self) -> None:
+        if self.query is None:
+            raise ConfigurationError("a path-query response names the query it answers")
+
+    def size_bytes(self) -> int:
+        """Return the summed segment encodings plus the echoed query."""
+        return _memo(
+            self,
+            "_size_bytes",
+            lambda: 24
+            + len(self.query.policy_key())
+            + sum(len(path.segment.encode()) for path in self.paths),
+        )
+
+    def trace_label(self) -> str:
+        return (
+            f"query-response origin={self.query.origin_as} paths={len(self.paths)} "
             f"from={self.origin_as} seq={self.sequence}"
         )

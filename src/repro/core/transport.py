@@ -1,13 +1,16 @@
 """Control-plane transport abstraction.
 
 Control services interact across AS boundaries through one typed message
-fabric (:mod:`repro.core.messages`): PCBs, revocations and path
-registrations are all :class:`~repro.core.messages.ControlMessage`\\ s sent
-over a specific egress interface via :meth:`send_message`.  Two legacy
-conveniences remain on the protocol — returning a pull-based PCB to its
-origin AS (which travels over the beacon's own multi-hop path, not a
-single link) and fetching an on-demand algorithm payload (a synchronous
-round trip).  The transport is abstracted behind a small protocol so that
+fabric (:mod:`repro.core.messages`): PCBs, revocations, path
+registrations, pull returns and path queries are all
+:class:`~repro.core.messages.ControlMessage`\\ s delivered through the
+services' ``on_message`` dispatch.  ``return_beacon_to_origin`` remains on
+the protocol as a back-compat shim: it frames the returned beacon as a
+typed :class:`~repro.core.messages.PullReturnMessage` (the message travels
+the beacon's own multi-hop reverse path in one step, not a single link)
+and dispatches it like every other message.  Fetching an on-demand
+algorithm payload stays a synchronous round trip.  The transport is
+abstracted behind a small protocol so that
 
 * the discrete-event simulation can deliver messages with realistic link
   delays, per-AS inboxes and batched drains, and count propagated messages
@@ -30,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Protocol, Tuple
 
 from repro.core.beacon import Beacon
-from repro.core.messages import ControlMessage, PCBMessage
+from repro.core.messages import ControlMessage, PCBMessage, PullReturnMessage
 from repro.exceptions import SimulationError, UnknownASError
 
 
@@ -92,8 +95,20 @@ class NullTransport:
         )
 
     def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
-        """Record the return without delivering it."""
+        """Record the return, typed, without delivering it."""
         self.returned.append((sender_as, beacon))
+        self.messages.append(
+            (
+                sender_as,
+                -1,
+                PullReturnMessage(
+                    origin_as=sender_as,
+                    sequence=len(self.messages) + 1,
+                    created_at_ms=0.0,
+                    beacon=beacon,
+                ),
+            )
+        )
 
     def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
         """Serve a payload from the locally configured table."""
@@ -161,11 +176,22 @@ class LoopbackTransport:
         )
 
     def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
-        """Deliver a returned pull-based beacon to its origin's control service."""
+        """Deliver a returned pull-based beacon to its origin's control service.
+
+        Back-compat shim over the typed fabric: the beacon is framed as a
+        :class:`PullReturnMessage` and handed to the origin's ``on_message``
+        dispatch, which routes it to ``receive_returned_beacon``.
+        """
         service = self.services.get(beacon.origin_as)
         if service is None:
             raise UnknownASError(beacon.origin_as)
-        service.receive_returned_beacon(beacon, now_ms=self.clock())
+        message = PullReturnMessage(
+            origin_as=sender_as,
+            sequence=next(self._sequence),
+            created_at_ms=self.clock(),
+            beacon=beacon,
+        )
+        service.on_message(message, on_interface=-1, now_ms=self.clock())
 
     def fetch_algorithm(self, requester_as: int, origin_as: int, algorithm_id: str) -> bytes:
         """Fetch a payload directly from the origin's control service."""

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.criteria import CriteriaSet
 from repro.core.databases import PathService, RegisteredPath
+from repro.core.query import PathQueryFrontend
 from repro.dataplane.packet import Packet
 from repro.dataplane.path import ForwardingPath, forwarding_path_from_segment
 from repro.exceptions import DataPlaneError
@@ -56,14 +57,22 @@ class EndHost:
         host_id: Opaque identifier (used in packets and reports).
         as_id: The AS the host lives in.
         path_service: The AS's path service.
+        query_frontend: When set, path lookups go through the AS's serving
+            tier (:class:`~repro.core.query.PathQueryFrontend`) — cached,
+            expiry-aware, invalidated on withdrawal — instead of reaching
+            into the path service directly.
     """
 
     host_id: str
     as_id: int
     path_service: PathService
+    query_frontend: Optional[PathQueryFrontend] = None
 
     def available_paths(self, destination_as: int) -> List[RegisteredPath]:
         """Return every registered path towards ``destination_as``."""
+        frontend = self.query_frontend
+        if frontend is not None:
+            return list(frontend.paths(destination_as))
         return self.path_service.paths_to(destination_as)
 
     def select_paths(

@@ -120,7 +120,69 @@ def bind_simulation(simulation, registry: Optional[MetricsRegistry] = None) -> M
     gauge("scheduler.now_ms", help="current simulated time (ms)",
           fn=lambda: scheduler.now_ms)
 
+    # The path-query serving tier: fabric-side message counts plus the
+    # per-AS frontends' serving counters, aggregated across the topology.
+    gauge("query.messages_total", help="path-query message transmissions",
+          fn=lambda: collector.total_queries)
+    gauge("query.responses_total", help="path-query-response transmissions",
+          fn=lambda: collector.total_query_responses)
+
+    def _frontends():
+        for service in simulation.services.values():
+            frontend = getattr(service, "query_frontend", None)
+            if frontend is not None:
+                yield frontend
+
+    def _sum(attr):
+        return lambda: sum(getattr(f, attr) for f in _frontends())
+
+    def _hit_ratio():
+        lookups = hits = 0
+        for frontend in _frontends():
+            lookups += frontend.lookups
+            hits += frontend.hits
+        return hits / lookups if lookups else 0.0
+
+    gauge("query.lookups_total", help="path lookups served by query frontends",
+          fn=_sum("lookups"))
+    gauge("query.cache_hits_total", help="lookups served from the response cache",
+          fn=_sum("hits"))
+    gauge("query.cache_misses_total", help="lookups that materialized a response",
+          fn=_sum("misses"))
+    gauge("query.cache_invalidations_total",
+          help="cached responses dropped by registration/withdrawal/expiry",
+          fn=_sum("invalidations"))
+    gauge("query.cache_evictions_total", help="cached responses evicted by the LRU bound",
+          fn=_sum("evictions"))
+    gauge("query.cache_hit_ratio", help="hits over lookups across all frontends",
+          fn=_hit_ratio)
+
     bind_crypto(registry)
+    return registry
+
+
+def bind_query_frontend(
+    frontend, name: str = "query", registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Register one :class:`PathQueryFrontend`'s counters; return the registry.
+
+    For standalone serving setups (benchmarks, unit harnesses) that have a
+    frontend without a full simulation around it.
+    """
+    registry = registry if registry is not None else REGISTRY
+    gauge = registry.gauge
+    gauge(f"{name}.lookups_total", help="path lookups served",
+          fn=lambda: frontend.lookups)
+    gauge(f"{name}.cache_hits_total", help="lookups served from cache",
+          fn=lambda: frontend.hits)
+    gauge(f"{name}.cache_misses_total", help="lookups that materialized",
+          fn=lambda: frontend.misses)
+    gauge(f"{name}.cache_invalidations_total", help="cached responses invalidated",
+          fn=lambda: frontend.invalidations)
+    gauge(f"{name}.cache_hit_ratio", help="hits over lookups",
+          fn=lambda: frontend.cache_hit_ratio)
+    gauge(f"{name}.cache_size", help="materialized responses currently cached",
+          fn=lambda: frontend.cache_size)
     return registry
 
 

@@ -16,6 +16,7 @@ mix legacy and IREC ASes freely.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -36,7 +37,8 @@ from repro.core.control_service import (
     purge_link_state,
 )
 from repro.core.ingress import IngressGateway
-from repro.core.messages import ControlMessage
+from repro.core.messages import ControlMessage, PathQueryResponse
+from repro.core.query import PathQueryFrontend
 from repro.core.revocation import (
     RevocationMessage,
     RevocationState,
@@ -97,6 +99,11 @@ class LegacyControlService:
             verify_signatures=verify_signatures,
         )
         self.path_service = PathService(max_paths_per_key=paths_per_origin)
+        #: Legacy ASes serve path queries through the same frontend as
+        #: IREC ASes — the serving tier is deployment-flavour agnostic.
+        self.query_frontend = PathQueryFrontend(self.path_service)
+        self.query_responses: List[Tuple[PathQueryResponse, float]] = []
+        self._message_sequence = itertools.count(1)
         self.revocations = RevocationState()
         #: Withdrawal callback, same contract as the IREC control service.
         self.on_withdrawal = None
@@ -144,6 +151,16 @@ class LegacyControlService:
 
     def receive_returned_beacon(self, beacon: Beacon, now_ms: float) -> None:
         """Legacy ASes do not use pull-based routing; returned beacons are dropped."""
+
+    def next_message_sequence(self) -> int:
+        """Return the next non-revocation envelope sequence number."""
+        return next(self._message_sequence)
+
+    def receive_query_response(
+        self, response: PathQueryResponse, now_ms: float
+    ) -> None:
+        """Handle the answer to a query this AS sent earlier."""
+        self.query_responses.append((response, now_ms))
 
     def serve_algorithm(self, algorithm_id: str) -> bytes:
         """Legacy ASes publish no on-demand algorithms."""

@@ -207,6 +207,7 @@ class BeaconingSimulation:
                 config=ControlServiceConfig(
                     verify_signatures=self.scenario.verify_signatures,
                     revocation_dedup_window_ms=self.scenario.revocation_dedup_window_ms,
+                    register_down_segments=self.scenario.register_down_segments,
                 ),
             )
             specs = self._deployed_specs.setdefault(as_info.as_id, {})
@@ -214,6 +215,9 @@ class BeaconingSimulation:
                 self._install_rac(service, spec)
                 specs[spec.rac_id] = spec
         service.revocations.dedup_window_ms = self.scenario.revocation_dedup_window_ms
+        # The serving tier reads simulated time from the scheduler, so
+        # cached query responses expire on the simulation's clock.
+        service.query_frontend.clock = lambda: self.scheduler.now_ms
         service.on_withdrawal = self._withdrawal_notifier(as_info.as_id)
         self.services[as_info.as_id] = service
         self.transport.register(service)

@@ -38,6 +38,8 @@ class MetricsCollector:
     _returned: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _revocations: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _registrations: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _queries: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _query_responses: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _fetches: int = 0
     total_sent: int = 0
     total_dropped: int = 0
@@ -45,6 +47,9 @@ class MetricsCollector:
     revocations_dropped: int = 0
     total_registrations: int = 0
     registrations_dropped: int = 0
+    total_queries: int = 0
+    total_query_responses: int = 0
+    queries_dropped: int = 0
     gray_dropped: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inbox_dropped: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     inbox_marked: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -109,6 +114,24 @@ class MetricsCollector:
     def record_registration_drop(self, time_ms: float) -> None:
         """Record one path-registration message lost on an unavailable link."""
         self.registrations_dropped += 1
+
+    def record_query(self, sender_as: int, interface_id: int, time_ms: float) -> None:
+        """Record one path-query message transmission (disjoint per-kind)."""
+        period = int(time_ms // self.period_ms)
+        self._queries[period] += 1
+        self.total_queries += 1
+
+    def record_query_response(
+        self, sender_as: int, interface_id: int, time_ms: float
+    ) -> None:
+        """Record one path-query-response message transmission."""
+        period = int(time_ms // self.period_ms)
+        self._query_responses[period] += 1
+        self.total_query_responses += 1
+
+    def record_query_drop(self, time_ms: float) -> None:
+        """Record one query or response lost on an unavailable link."""
+        self.queries_dropped += 1
 
     def record_gray_drop(self, kind: str, time_ms: float) -> None:
         """Record one message silently swallowed by a degraded link (PR 7).
@@ -207,17 +230,19 @@ class MetricsCollector:
         """Return every control-plane message sent so far.
 
         Sends (including ones later dropped in flight), pull returns,
-        revocation messages and path registrations all count.  Each typed
-        message's transmission is recorded once (the per-kind recorders
-        are disjoint), so no message is double-counted; the convergence
-        collector snapshots this to attribute overhead to individual
-        events.
+        revocation messages, path registrations and path queries (with
+        their responses) all count.  Each typed message's transmission is
+        recorded once (the per-kind recorders are disjoint), so no message
+        is double-counted; the convergence collector snapshots this to
+        attribute overhead to individual events.
         """
         return (
             self.total_sent
             + self.returned_beacons()
             + self.total_revocations
             + self.total_registrations
+            + self.total_queries
+            + self.total_query_responses
         )
 
     def inbox_dropped_total(self) -> int:
@@ -257,6 +282,8 @@ class MetricsCollector:
         self._returned.clear()
         self._revocations.clear()
         self._registrations.clear()
+        self._queries.clear()
+        self._query_responses.clear()
         self._fetches = 0
         self.total_sent = 0
         self.total_dropped = 0
@@ -264,6 +291,9 @@ class MetricsCollector:
         self.revocations_dropped = 0
         self.total_registrations = 0
         self.registrations_dropped = 0
+        self.total_queries = 0
+        self.total_query_responses = 0
+        self.queries_dropped = 0
         self.gray_dropped.clear()
         self.inbox_dropped.clear()
         self.inbox_marked.clear()

@@ -55,7 +55,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.beacon import Beacon
-from repro.core.messages import ControlMessage, PCBMessage
+from repro.core.messages import ControlMessage, PCBMessage, PullReturnMessage
 from repro.obs import spans as _spans
 from repro.exceptions import (
     AlgorithmError,
@@ -376,6 +376,10 @@ class SimulatedTransport:
             self.collector.record_revocation(sender_as, egress_interface, now_ms)
         elif kind == "path_registration":
             self.collector.record_registration(sender_as, egress_interface, now_ms)
+        elif kind == "path_query":
+            self.collector.record_query(sender_as, egress_interface, now_ms)
+        elif kind == "path_query_response":
+            self.collector.record_query_response(sender_as, egress_interface, now_ms)
         else:
             # An unknown kind must fail loudly: silently mis-binning it
             # would corrupt the overhead accounting (Figure 8c) without
@@ -596,6 +600,8 @@ class SimulatedTransport:
             self.collector.record_drop(now_ms)
         elif message.kind == "path_registration":
             self.collector.record_registration_drop(now_ms)
+        elif message.kind in ("path_query", "path_query_response"):
+            self.collector.record_query_drop(now_ms)
         else:  # unreachable: send_message rejected the kind already
             raise SimulationError(f"message kind {message.kind!r} has no drop recorder")
 
@@ -623,25 +629,40 @@ class SimulatedTransport:
     # path-travel deliveries (not link-routed)
     # ------------------------------------------------------------------
     def return_beacon_to_origin(self, sender_as: int, beacon: Beacon) -> None:
-        """Return a terminated pull beacon to its origin over the beacon's path."""
-        origin = self.service_of(beacon.origin_as)
-        self.collector.record_return(sender_as, self.scheduler.now_ms)
-        delay_ms = beacon.total_latency_ms() + self.processing_delay_ms
+        """Return a terminated pull beacon to its origin over the beacon's path.
 
-        def deliver(now_ms: float, _origin=origin, _beacon=beacon):
+        Back-compat shim over the typed fabric: the beacon is framed as a
+        :class:`PullReturnMessage` and delivered through the origin's
+        ``on_message`` dispatch.  Unlike link-routed messages it travels
+        the beacon's full reverse path in one step (latency = the
+        beacon's end-to-end propagation delay) and bypasses the inbox —
+        the exact accounting and timing of the historical side channel.
+        """
+        now_ms = self.scheduler.now_ms
+        origin = self.service_of(beacon.origin_as)
+        self.collector.record_return(sender_as, now_ms)
+        delay_ms = beacon.total_latency_ms() + self.processing_delay_ms
+        message = PullReturnMessage(
+            origin_as=sender_as,
+            sequence=next(self._sequence),
+            created_at_ms=now_ms,
+            beacon=beacon,
+        )
+
+        def deliver(now_ms: float, _origin=origin, _message=message):
             # The return travels over the beacon's own path; it is lost if
             # any of those links is unavailable when it would arrive.
             if (
                 self.link_state is not None
                 and self.link_state.impaired()
-                and not self.link_state.path_available(_beacon.links())
+                and not self.link_state.path_available(_message.beacon.links())
             ):
                 self.collector.record_drop(now_ms)
                 return
-            _origin.receive_returned_beacon(_beacon, now_ms=now_ms)
+            _origin.on_message(_message, on_interface=-1, now_ms=now_ms)
 
         if self.deliver_immediately:
-            deliver(self.scheduler.now_ms + delay_ms)
+            deliver(now_ms + delay_ms)
         else:
             self.scheduler.schedule_in(delay_ms, deliver)
 

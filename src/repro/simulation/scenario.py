@@ -97,6 +97,11 @@ class ScenarioConfig:
         loss_seed: Seed of the transport's silent-loss RNG (gray failures,
             flap loss).  Degraded scenarios reroll deterministically under
             the same seed; healthy scenarios never touch the RNG.
+        register_down_segments: When enabled, every IREC AS announces the
+            paths it registers back along the segment as
+            ``register_at_origin`` path-registration messages, so origin
+            (core) ASes learn down-segments on message arrival.  Off by
+            default: the extra fabric traffic would change pinned traces.
     """
 
     algorithms: Tuple[AlgorithmSpec, ...]
@@ -112,6 +117,7 @@ class ScenarioConfig:
     inbox_profile: Optional[InboxProfile] = None
     inbox_profiles: Dict[int, InboxProfile] = field(default_factory=dict)
     loss_seed: int = 0
+    register_down_segments: bool = False
 
     def __post_init__(self) -> None:
         if not self.algorithms and not self.legacy_ases:

@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.databases import PathService, RegisteredPath
 from repro.core.messages import RevocationMessage
+from repro.core.query import PathQueryFrontend
 from repro.dataplane.endhost import EndHost, PathPolicy
 from repro.dataplane.network import DataPlaneNetwork
 from repro.dataplane.packet import Packet
@@ -170,6 +171,7 @@ class TrafficEngine:
         probe_network: Optional[DataPlaneNetwork] = None,
         queue_delay_provider: Optional[Callable[[int], float]] = None,
         closed_loop: Optional[ClosedLoopDemand] = None,
+        query_frontends: Optional[Dict[int, PathQueryFrontend]] = None,
     ) -> None:
         if round_interval_ms <= 0.0:
             raise ConfigurationError(
@@ -188,6 +190,16 @@ class TrafficEngine:
         self.probe_network = probe_network
         self.queue_delay_provider = queue_delay_provider
         self.rounds_run = 0
+        #: Per-AS serving tier the engine's end hosts query through.  If
+        #: none is supplied (standalone construction), one frontend per
+        #: path service is built on the engine's scheduler clock; they
+        #: stay coherent through the services' invalidation listeners.
+        if query_frontends is None:
+            query_frontends = {
+                as_id: PathQueryFrontend(service, clock=lambda: self.scheduler.now_ms)
+                for as_id, service in path_services.items()
+            }
+        self.query_frontends = query_frontends
 
         for group in matrix:
             if group.source_as not in path_services:
@@ -254,6 +266,10 @@ class TrafficEngine:
                 as_id: service.path_service
                 for as_id, service in simulation.services.items()
             },
+            query_frontends={
+                as_id: service.query_frontend
+                for as_id, service in simulation.services.items()
+            },
             matrix=matrix,
             link_state=simulation.link_state,
             policy=policy,
@@ -276,6 +292,7 @@ class TrafficEngine:
                 host_id=f"traffic-{as_id}",
                 as_id=as_id,
                 path_service=self.path_services[as_id],
+                query_frontend=self.query_frontends.get(as_id),
             )
             self._hosts[as_id] = host
         return host

@@ -1,0 +1,653 @@
+"""Tests of the path-query serving tier (PR 9).
+
+Typed :class:`~repro.core.query.PathQuery` lookups served by per-AS
+:class:`~repro.core.query.PathQueryFrontend` caches over the
+:class:`~repro.core.databases.PathService`; query/response messages and
+pull returns on the typed fabric; down-segment registration driven by
+``PathRegistrationMessage`` arrival at the origin.  The satellites pin:
+
+* the ``paths_to`` origin index against the historical full scan
+  (property test),
+* that a cached response never outlives its member segments
+  (``expiry_margin_ms`` honoured),
+* that frontend routing + caching leave the golden and family digests
+  bit-identical, and
+* cache coherence under a ``revocation_storm`` overload scenario — no
+  stale path is served after the withdrawal arrives.
+"""
+
+import hashlib
+import random
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.control_service import ControlServiceConfig, IrecControlService
+from repro.core.databases import PathService, RegisteredPath
+from repro.core.local_view import LocalTopologyView
+from repro.core.messages import (
+    PathQueryMessage,
+    PathQueryResponse,
+    PathRegistrationMessage,
+    PullReturnMessage,
+)
+from repro.core.query import PathQuery, PathQueryFrontend
+from repro.core.transport import LoopbackTransport, NullTransport
+from repro.crypto.keys import KeyStore
+from repro.dataplane.endhost import EndHost
+from repro.exceptions import ConfigurationError
+from repro.obs.bridge import bind_query_frontend
+from repro.obs.registry import MetricsRegistry
+from repro.simulation.beaconing import BeaconingSimulation
+from repro.simulation.engine import EventScheduler
+from repro.simulation.events import revocation_storm
+from repro.simulation.network import InboxProfile, SimulatedTransport
+from repro.simulation.scenario import don_scenario
+from repro.units import minutes
+
+from tests.conftest import line_topology, make_beacon
+from tests.test_golden_trace import (
+    FAMILY_DIGESTS,
+    GOLDEN_DIGEST,
+    run_family_scenario,
+    run_scenario,
+)
+
+
+def _registered(key_store, origin=1, via=2, tags=("1sp",), validity_ms=None):
+    kwargs = {} if validity_ms is None else {"validity_ms": validity_ms}
+    segment = make_beacon(key_store, [(origin, None, 1), (via, 1, None)], **kwargs)
+    return RegisteredPath(segment=segment, criteria_tags=tags, registered_at_ms=0.0)
+
+
+# ---------------------------------------------------------------------------
+# The typed query
+# ---------------------------------------------------------------------------
+
+
+class TestPathQuery:
+    def test_policy_key_normalizes_tag_order(self):
+        a = PathQuery(origin_as=1, required_tags=("don", "1sp"))
+        b = PathQuery(origin_as=1, required_tags=("1sp", "don"))
+        assert a.policy_key() == b.policy_key()
+        assert a.cache_key() == b.cache_key() == (1, a.policy_key())
+
+    def test_distinct_policies_get_distinct_keys(self):
+        assert (
+            PathQuery(origin_as=1).cache_key()
+            != PathQuery(origin_as=1, max_latency_ms=50.0).cache_key()
+        )
+        assert PathQuery(origin_as=1).cache_key() != PathQuery(origin_as=2).cache_key()
+
+    def test_admits_filters_on_tags_latency_bandwidth(self, key_store):
+        path = _registered(key_store, tags=("don",))  # 2 hops x 10 ms, 1000 Mbit/s
+        assert PathQuery(origin_as=1).admits(path)
+        assert PathQuery(origin_as=1, required_tags=("don", "other")).admits(path)
+        assert not PathQuery(origin_as=1, required_tags=("1sp",)).admits(path)
+        assert PathQuery(origin_as=1, max_latency_ms=100.0).admits(path)
+        assert not PathQuery(origin_as=1, max_latency_ms=5.0).admits(path)
+        assert PathQuery(origin_as=1, min_bandwidth_mbps=500.0).admits(path)
+        assert not PathQuery(origin_as=1, min_bandwidth_mbps=5_000.0).admits(path)
+
+    def test_non_positive_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathQuery(origin_as=1, limit=0)
+
+    def test_query_message_round_trip_fields(self, key_store):
+        query = PathQuery(origin_as=3, max_latency_ms=50.0)
+        message = PathQueryMessage(
+            origin_as=1, sequence=7, created_at_ms=0.0, query=query
+        )
+        assert message.kind == "path_query"
+        assert message.size_bytes() > 0
+        response = PathQueryResponse(
+            origin_as=2,
+            sequence=1,
+            created_at_ms=1.0,
+            query=query,
+            paths=(_registered(key_store, origin=3),),
+            cache_hit=True,
+            request_origin=1,
+            request_sequence=7,
+        )
+        assert response.kind == "path_query_response"
+        assert response.size_bytes() > 0
+        assert response.request_sequence == 7
+
+    def test_query_message_requires_query(self):
+        with pytest.raises(ConfigurationError):
+            PathQueryMessage(origin_as=1, sequence=1, created_at_ms=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the _by_origin index vs the historical full scan
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1)
+def _segment_pool():
+    """A pinned pool of signed terminated segments (3 origins x 3 vias)."""
+    key_store = KeyStore()
+    return tuple(
+        make_beacon(key_store, [(origin, None, 1), (via, 1, None)])
+        for origin in (1, 2, 3)
+        for via in (4, 5, 6)
+    )
+
+
+class TestOriginIndexEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 8), st.sampled_from(["a", "b"])), max_size=24
+        ),
+        removals=st.sets(st.integers(0, 8), max_size=6),
+    )
+    def test_indexed_lookup_matches_full_scan(self, ops, removals):
+        """Property: after any register/merge/remove sequence, the indexed
+        ``paths_to``/``down_paths_to`` equal the pre-PR 9 full scan of the
+        digest table — same members, same order."""
+        pool = _segment_pool()
+        service = PathService()
+        for index, tag in ops:
+            service.register(
+                RegisteredPath(
+                    segment=pool[index], criteria_tags=(tag,), registered_at_ms=0.0
+                )
+            )
+        doomed = {pool[index].digest() for index in removals}
+        service.remove_matching(lambda path: path.segment.digest() in doomed)
+        for origin in (1, 2, 3, 99):
+            scan = [
+                path
+                for path in service.all_paths()
+                if path.segment.origin_as == origin
+            ]
+            assert service.paths_to(origin) == scan
+        for terminal in (4, 5, 6, 99):
+            scan = [
+                path
+                for path in service.all_paths()
+                if path.segment.last_as == terminal
+            ]
+            assert service.down_paths_to(terminal) == scan
+
+    def test_index_survives_link_and_as_withdrawal(self, key_store):
+        service = PathService()
+        crossing = _registered(key_store, origin=1, via=2)
+        other = _registered(key_store, origin=3, via=2)
+        service.register(crossing)
+        service.register(other)
+        assert service.remove_crossing_link(((1, 1), (2, 1))) == 1
+        assert service.paths_to(1) == []
+        assert service.paths_to(3) == [other]
+        assert service.remove_crossing_as(3) == 1
+        assert service.down_paths_to(2) == []
+
+    def test_merge_keeps_one_indexed_entry(self, key_store):
+        service = PathService()
+        segment = make_beacon(key_store, [(1, None, 1), (2, 1, None)])
+        service.register(
+            RegisteredPath(segment=segment, criteria_tags=("a",), registered_at_ms=0.0)
+        )
+        service.register(
+            RegisteredPath(segment=segment, criteria_tags=("b",), registered_at_ms=1.0)
+        )
+        assert len(service.paths_to(1)) == 1
+        assert set(service.paths_to(1)[0].criteria_tags) == {"a", "b"}
+        assert len(service.down_paths_to(2)) == 1
+
+
+class TestInvalidationListeners:
+    def test_register_merge_and_withdrawal_notify_origin(self, key_store):
+        service = PathService()
+        events = []
+        service.add_invalidation_listener(events.append)
+        path = _registered(key_store, origin=1, via=2)
+        service.register(path)
+        assert events == [1]
+        # A merge of the same digest still touches origin 1.
+        service.register(
+            RegisteredPath(
+                segment=path.segment, criteria_tags=("don",), registered_at_ms=1.0
+            )
+        )
+        assert events == [1, 1]
+        service.register(_registered(key_store, origin=3, via=2))
+        assert events == [1, 1, 3]
+        # Withdrawal notifies once per touched origin, not per digest.
+        service.register(_registered(key_store, origin=1, via=5))
+        events.clear()
+        assert service.remove_crossing_as(2) == 2
+        assert sorted(events) == [1, 3]
+
+    def test_expiry_purge_notifies(self, key_store):
+        service = PathService()
+        events = []
+        service.add_invalidation_listener(events.append)
+        service.register(_registered(key_store, origin=1, validity_ms=100.0))
+        events.clear()
+        assert service.remove_expired(now_ms=1_000.0) == 1
+        assert events == [1]
+
+
+# ---------------------------------------------------------------------------
+# The frontend cache
+# ---------------------------------------------------------------------------
+
+
+class TestFrontendCache:
+    def test_miss_then_hit(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1))
+        frontend = PathQueryFrontend(service)
+        first = frontend.query(PathQuery(origin_as=1))
+        assert not first.cache_hit and len(first.paths) == 1
+        second = frontend.query(PathQuery(origin_as=1))
+        assert second.cache_hit and second.paths == first.paths
+        assert (frontend.lookups, frontend.hits, frontend.misses) == (2, 1, 1)
+        assert frontend.cache_hit_ratio == pytest.approx(0.5)
+        assert frontend.counters()["cache_size"] == 1
+
+    def test_policy_filtering_through_frontend(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1, via=2, tags=("1sp",)))
+        service.register(_registered(key_store, origin=1, via=3, tags=("don",)))
+        frontend = PathQueryFrontend(service)
+        tagged = frontend.query(PathQuery(origin_as=1, required_tags=("don",)))
+        assert [p.criteria_tags for p in tagged.paths] == [("don",)]
+        limited = frontend.query(PathQuery(origin_as=1, limit=1))
+        assert len(limited.paths) == 1
+        assert len(frontend.query(PathQuery(origin_as=1)).paths) == 2
+
+    def test_registration_invalidates_only_touched_origin(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1, via=2))
+        service.register(_registered(key_store, origin=3, via=2))
+        frontend = PathQueryFrontend(service)
+        frontend.query(PathQuery(origin_as=1))
+        frontend.query(PathQuery(origin_as=3))
+        assert frontend.cache_size == 2
+        service.register(_registered(key_store, origin=1, via=5))
+        assert frontend.cache_size == 1
+        assert frontend.invalidations == 1
+        # Origin 3's entry survived; origin 1 re-materializes with the new path.
+        assert frontend.query(PathQuery(origin_as=3)).cache_hit
+        refreshed = frontend.query(PathQuery(origin_as=1))
+        assert not refreshed.cache_hit and len(refreshed.paths) == 2
+
+    def test_withdrawal_is_never_served_from_cache(self, key_store):
+        service = PathService()
+        victim = _registered(key_store, origin=1, via=2)
+        service.register(victim)
+        service.register(_registered(key_store, origin=1, via=5))
+        frontend = PathQueryFrontend(service)
+        assert len(frontend.paths(1)) == 2
+        assert service.remove_crossing_link(((1, 1), (2, 1))) == 1
+        served = frontend.paths(1)
+        assert len(served) == 1
+        assert victim.segment.digest() not in {
+            p.segment.digest() for p in served
+        }
+
+    def test_lru_bound_and_eviction(self, key_store):
+        service = PathService()
+        for origin in (1, 2, 3):
+            service.register(_registered(key_store, origin=origin, via=5))
+        frontend = PathQueryFrontend(service, capacity=2)
+        for origin in (1, 2, 3):
+            frontend.query(PathQuery(origin_as=origin))
+        assert frontend.cache_size == 2
+        assert frontend.evictions == 1
+        # Origin 1 was the least recently used: it misses again.
+        assert not frontend.query(PathQuery(origin_as=1)).cache_hit
+        assert frontend.query(PathQuery(origin_as=3)).cache_hit
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathQueryFrontend(PathService(), capacity=0)
+
+    def test_observatory_binding_exports_counters(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1))
+        frontend = PathQueryFrontend(service)
+        registry = bind_query_frontend(frontend, registry=MetricsRegistry())
+        frontend.paths(1)
+        frontend.paths(1)
+        snap = registry.snapshot()
+        assert snap["query.lookups_total"] == 2
+        assert snap["query.cache_hits_total"] == 1
+        assert snap["query.cache_hit_ratio"] == pytest.approx(0.5)
+        assert snap["query.cache_size"] == 1
+
+
+class TestExpiryCoherence:
+    """Satellite: a cached response never outlives its member segments."""
+
+    def test_expired_but_cached_path_is_never_served(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1, validity_ms=500.0))
+        frontend = PathQueryFrontend(service)
+        assert len(frontend.paths(1, now_ms=0.0)) == 1
+        assert frontend.cache_size == 1
+        # The segment expired but no purge ran: the service still holds it,
+        # the cache still holds the response — serving must refuse both.
+        assert frontend.paths(1, now_ms=600.0) == ()
+        assert frontend.expired_entries == 1
+        assert len(service.paths_to(1)) == 1  # un-purged, by construction
+
+    def test_expiry_margin_is_honoured(self, key_store):
+        service = PathService(expiry_margin_ms=200.0)
+        service.register(_registered(key_store, origin=1, validity_ms=500.0))
+        frontend = PathQueryFrontend(service)
+        assert len(frontend.paths(1, now_ms=0.0)) == 1
+        # Inside the margin (valid until 500 - 200 = 300 ms): refused even
+        # though the raw expiry is still 150 ms away.
+        assert frontend.paths(1, now_ms=350.0) == ()
+        # A fresh materialization applies the same horizon.
+        assert frontend.query(PathQuery(origin_as=1), now_ms=350.0).paths == ()
+
+    def test_mixed_expiries_pin_the_entry_to_the_earliest(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1, via=2, validity_ms=500.0))
+        service.register(_registered(key_store, origin=1, via=5, validity_ms=50_000.0))
+        frontend = PathQueryFrontend(service)
+        assert len(frontend.paths(1, now_ms=0.0)) == 2
+        # Past the earliest member's expiry the whole entry is refused and
+        # re-materialized with the surviving path only.
+        served = frontend.paths(1, now_ms=600.0)
+        assert len(served) == 1
+        assert frontend.expired_entries == 1
+
+
+class TestEndHostRouting:
+    def test_frontend_and_direct_lookup_agree(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1, via=2))
+        service.register(_registered(key_store, origin=1, via=5))
+        direct = EndHost(host_id="h", as_id=7, path_service=service)
+        cached = EndHost(
+            host_id="h",
+            as_id=7,
+            path_service=service,
+            query_frontend=PathQueryFrontend(service),
+        )
+        assert cached.available_paths(1) == direct.available_paths(1)
+        assert cached.available_paths(1) == direct.available_paths(1)  # hit path
+        assert cached.query_frontend.hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Typed queries and pull returns over the fabric
+# ---------------------------------------------------------------------------
+
+
+def _loopback_services(topology, key_store, **config_kwargs):
+    transport = LoopbackTransport(topology=topology)
+    services = {}
+    for as_info in topology:
+        view = LocalTopologyView.from_topology(topology, as_info.as_id)
+        service = IrecControlService(
+            view=view,
+            key_store=key_store,
+            transport=transport,
+            config=ControlServiceConfig(verify_signatures=False, **config_kwargs),
+        )
+        services[as_info.as_id] = service
+        transport.register(service)
+    return transport, services
+
+
+def _simulated_services(topology, key_store, **config_kwargs):
+    scheduler = EventScheduler()
+    transport = SimulatedTransport(topology=topology, scheduler=scheduler)
+    services = {}
+    for as_info in topology:
+        view = LocalTopologyView.from_topology(topology, as_info.as_id)
+        service = IrecControlService(
+            view=view,
+            key_store=key_store,
+            transport=transport,
+            config=ControlServiceConfig(verify_signatures=False, **config_kwargs),
+        )
+        services[as_info.as_id] = service
+        transport.register(service)
+    return scheduler, transport, services
+
+
+class TestQueryFabric:
+    def test_loopback_query_round_trip(self, key_store):
+        topology = line_topology(3)
+        _transport, services = _loopback_services(topology, key_store)
+        services[2].path_service.register(
+            RegisteredPath(
+                segment=make_beacon(key_store, [(3, None, 1), (2, 2, None)]),
+                criteria_tags=("1sp",),
+                registered_at_ms=0.0,
+            )
+        )
+        services[1].send_path_query(
+            egress_interface=2, query=PathQuery(origin_as=3), now_ms=5.0
+        )
+        assert len(services[1].query_responses) == 1
+        response, _at = services[1].query_responses[0]
+        assert response.request_origin == 1
+        assert not response.cache_hit
+        assert [p.segment.origin_as for p in response.paths] == [3]
+        # The second ask is served from AS 2's response cache.
+        services[1].send_path_query(
+            egress_interface=2, query=PathQuery(origin_as=3), now_ms=6.0
+        )
+        assert services[1].query_responses[1][0].cache_hit
+
+    def test_simulated_fabric_counts_query_traffic(self, key_store):
+        topology = line_topology(3)
+        scheduler, transport, services = _simulated_services(topology, key_store)
+        services[2].path_service.register(
+            RegisteredPath(
+                segment=make_beacon(key_store, [(3, None, 1), (2, 2, None)]),
+                criteria_tags=("1sp",),
+                registered_at_ms=0.0,
+            )
+        )
+        services[1].send_path_query(
+            egress_interface=2, query=PathQuery(origin_as=3), now_ms=0.0
+        )
+        assert services[1].query_responses == []  # still in flight
+        scheduler.run_until(100.0)
+        assert len(services[1].query_responses) == 1
+        collector = transport.collector
+        assert collector.total_queries == 1
+        assert collector.total_query_responses == 1
+        assert collector.control_messages_total() == 2
+
+    def test_local_dispatch_returns_response_inline(self, key_store):
+        topology = line_topology(2)
+        _transport, services = _loopback_services(topology, key_store)
+        services[1].path_service.register(
+            RegisteredPath(
+                segment=make_beacon(key_store, [(2, None, 1), (1, 2, None)]),
+                criteria_tags=("1sp",),
+                registered_at_ms=0.0,
+            )
+        )
+        message = PathQueryMessage(
+            origin_as=1, sequence=1, created_at_ms=0.0, query=PathQuery(origin_as=2)
+        )
+        response = services[1].on_message(message, on_interface=-1, now_ms=0.0)
+        assert isinstance(response, PathQueryResponse)
+        assert len(response.paths) == 1
+
+
+class TestTypedPullReturn:
+    def test_null_transport_frames_pull_return(self, key_store):
+        transport = NullTransport()
+        beacon = make_beacon(key_store, [(1, None, 1), (2, 1, 2)])
+        transport.return_beacon_to_origin(sender_as=2, beacon=beacon)
+        assert transport.returned == [(2, beacon)]
+        kinds = [message.kind for _s, _i, message in transport.messages]
+        assert kinds == ["pull_return"]
+        assert isinstance(transport.messages[0][2], PullReturnMessage)
+
+    def test_loopback_pull_return_reaches_origin_handler(self, key_store):
+        topology = line_topology(3)
+        _transport, services = _loopback_services(topology, key_store)
+        beacon = make_beacon(key_store, [(1, None, 1), (2, 1, 2)])
+        _transport.return_beacon_to_origin(sender_as=2, beacon=beacon)
+        assert [b.digest() for b, _t in services[1].pull_results] == [beacon.digest()]
+
+
+class TestDownSegmentRegistration:
+    def test_registration_message_forwards_toward_origin(self, key_store):
+        """A transit AS relays register-at-origin announcements hop by hop
+        over its own segment entry's ingress interface; the origin registers."""
+        topology = line_topology(3)
+        scheduler, _transport, services = _simulated_services(topology, key_store)
+        segment = make_beacon(key_store, [(1, None, 2), (2, 1, 2), (3, 1, None)])
+        message = PathRegistrationMessage(
+            origin_as=3,
+            sequence=1,
+            created_at_ms=0.0,
+            path=RegisteredPath(
+                segment=segment, criteria_tags=("1sp",), registered_at_ms=0.0
+            ),
+            register_at_origin=True,
+        )
+        # AS 3 announces toward AS 2 (its beacon-arrival interface).
+        _transport.send_message(3, 1, message)
+        scheduler.run_until(1_000.0)
+        # Relayed through AS 2 without registering there; origin AS 1 holds
+        # the down-segment, keyed by its terminal.
+        assert services[2].path_service.all_paths() == []
+        down = services[1].path_service.down_paths_to(3)
+        assert [p.segment.digest() for p in down] == [segment.digest()]
+        assert services[1].path_service.paths_to(1) == down
+
+    def test_simulation_flag_registers_down_segments_at_origin(self):
+        def run(enabled):
+            topology = line_topology(4)
+            scenario = don_scenario(periods=2, verify_signatures=False)
+            scenario.register_down_segments = enabled
+            simulation = BeaconingSimulation(topology, scenario)
+            result = simulation.run()
+            origin_service = result.services[1]
+            down = {
+                terminal: len(origin_service.path_service.down_paths_to(terminal))
+                for terminal in (2, 3, 4)
+            }
+            return down, result.collector.total_registrations
+
+        down_on, registrations_on = run(enabled=True)
+        assert sum(down_on.values()) > 0
+        assert registrations_on > 0
+        down_off, registrations_off = run(enabled=False)
+        assert sum(down_off.values()) == 0
+        assert registrations_off == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite: golden digests unchanged with frontend routing + caching
+# ---------------------------------------------------------------------------
+
+
+def _probing_instrument(probe_minutes):
+    """Schedule read-only frontend probes at the given minutes of a run."""
+
+    def instrument(simulation):
+        def probe(now_ms):
+            for service in simulation.services.values():
+                frontend = service.query_frontend
+                frontend.paths(1, now_ms=now_ms)
+                frontend.query(
+                    PathQuery(origin_as=1, max_latency_ms=200.0), now_ms=now_ms
+                )
+
+        for minute in probe_minutes:
+            simulation.scheduler.schedule_at(minutes(minute) + 1.0, probe)
+
+    return instrument
+
+
+class TestGoldenTraceWithCaching:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        probe_minutes=st.sets(st.integers(min_value=3, max_value=100), max_size=4)
+    )
+    def test_frontend_probes_leave_golden_digest_unchanged(self, probe_minutes):
+        """Property: serving cached queries mid-run, at any instants, never
+        perturbs the pinned golden trace."""
+        trace = run_scenario(instrument=_probing_instrument(sorted(probe_minutes)))
+        digest = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+        assert digest == GOLDEN_DIGEST
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_DIGESTS))
+    def test_family_digests_unchanged_by_query_caching(self, family, monkeypatch):
+        """Each adversarial family digest is reproduced while every AS's
+        frontend serves probes mid-run (reads never mutate sim state)."""
+        original_run = BeaconingSimulation.run
+
+        def probed_run(simulation):
+            _probing_instrument((12, 35, 52))(simulation)
+            return original_run(simulation)
+
+        monkeypatch.setattr(BeaconingSimulation, "run", probed_run)
+        trace = run_family_scenario(family)
+        digest = hashlib.sha256(trace.encode("utf-8")).hexdigest()
+        assert digest == FAMILY_DIGESTS[family]
+
+
+# ---------------------------------------------------------------------------
+# Satellite: cache coherence under a revocation-storm overload scenario
+# ---------------------------------------------------------------------------
+
+
+class TestRevocationStormCoherence:
+    def test_no_stale_path_served_after_withdrawal(self):
+        """Caches are warmed before a storm hits bounded inboxes; once the
+        withdrawals have been applied, no lookup may serve a path crossing
+        a revoked link, and served sets match the authoritative service."""
+        topology = line_topology(5)
+        interval = minutes(10)
+        scenario = don_scenario(periods=6, verify_signatures=False)
+        scenario.inbox_profile = InboxProfile(
+            budget_per_tick=8, capacity=256, service_interval_ms=5.0
+        )
+        storm = revocation_storm(
+            topology, count=2, rng=random.Random(7), at_ms=2.5 * interval
+        )
+        scenario.timeline.extend(storm)
+        failed_links = {timed.event.link_id for timed in storm}
+
+        simulation = BeaconingSimulation(topology, scenario)
+
+        def warm(now_ms):
+            for service in simulation.services.values():
+                for origin in (1,):
+                    service.query_frontend.paths(origin, now_ms=now_ms)
+
+        simulation.scheduler.schedule_at(2.2 * interval, warm)
+        result = simulation.run()
+        final = result.final_time_ms
+
+        assert sum(s.query_frontend.lookups for s in result.services.values()) > 0
+        invalidations = sum(
+            s.query_frontend.invalidations for s in result.services.values()
+        )
+        assert invalidations > 0  # the storm really dropped warmed entries
+
+        storm_applied = 0
+        for service in result.services.values():
+            frontend = service.query_frontend
+            origins = {p.segment.origin_as for p in service.path_service.all_paths()}
+            for origin in origins | {1}:
+                served = frontend.paths(origin, now_ms=final)
+                authoritative = service.path_service.paths_to(origin)
+                assert list(served) == authoritative
+            if service.revocations.applied_at:
+                storm_applied += 1
+                for origin in origins | {1}:
+                    for path in frontend.paths(origin, now_ms=final):
+                        assert not (failed_links & set(path.segment.link_set()))
+        assert storm_applied > 0
