@@ -17,7 +17,6 @@ process-pool mode measures true parallel execution instead.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -239,20 +238,28 @@ def measure_throughput(
     sequentially and the aggregate throughput is the sum of the individual
     throughputs — the paper's RACs are independent processes, so their
     throughputs add until the machine saturates.  With
-    ``use_processes=True`` the batches run in a process pool and the
-    aggregate is computed from the true parallel wall-clock time.
+    ``use_processes=True`` the batches run on the shared
+    :func:`repro.parallel.pool.shared_pool` and the aggregate is computed
+    from the true parallel wall-clock time.  The pool is created once and
+    reused across calls (and by the crypto offload pool), so a
+    :func:`throughput_series` grid no longer pays a fork-and-import
+    spin-up per grid point.
     """
     if rac_count < 1:
         raise ValueError(f"rac_count must be positive, got {rac_count}")
     if use_processes:
+        from repro.parallel.pool import shared_pool
+
+        # Acquire (and, if needed, grow) the executor before the clock
+        # starts: pool lifecycle is not part of the measured batch time.
+        executor = shared_pool().executor(min_workers=rac_count)
         start = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=rac_count) as pool:
-            futures = [
-                pool.submit(_one_rac_batch_seconds, candidate_set_size, seed + i)
-                for i in range(rac_count)
-            ]
-            for future in futures:
-                future.result()
+        futures = [
+            executor.submit(_one_rac_batch_seconds, candidate_set_size, seed + i)
+            for i in range(rac_count)
+        ]
+        for future in futures:
+            future.result()
         elapsed = time.perf_counter() - start
         total_pcbs = rac_count * candidate_set_size
         return ThroughputPoint(

@@ -142,12 +142,23 @@ class PathQueryFrontend:
         path_service: PathService,
         clock: Optional[Callable[[], float]] = None,
         capacity: int = DEFAULT_CACHE_CAPACITY,
+        negative_ttl_ms: Optional[float] = None,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"query cache capacity must be positive, got {capacity}")
+        if negative_ttl_ms is not None and negative_ttl_ms <= 0:
+            raise ConfigurationError(
+                f"negative-cache TTL must be positive, got {negative_ttl_ms}"
+            )
         self.path_service = path_service
         self.clock = clock
         self.capacity = capacity
+        #: Lifetime of cached *empty* responses.  ``None`` (the default)
+        #: keeps the historical behavior — an empty response stays cached
+        #: until the origin is invalidated.  A TTL bounds how long a
+        #: "no paths" answer can outlive a registration the invalidation
+        #: listener missed (e.g. a frontend wired up after its service).
+        self.negative_ttl_ms = negative_ttl_ms
         self._cache: "OrderedDict[Tuple[int, str], _CacheEntry]" = OrderedDict()
         #: Origin AS → cached keys for it: the indexed invalidation path.
         self._keys_by_origin: Dict[int, Set[Tuple[int, str]]] = {}
@@ -160,6 +171,8 @@ class PathQueryFrontend:
         self.invalidations = 0
         self.evictions = 0
         self.expired_entries = 0
+        self.negative_hits = 0
+        self.negative_inserts = 0
         path_service.add_invalidation_listener(self._invalidate_origin)
 
     # ------------------------------------------------------------------
@@ -178,6 +191,8 @@ class PathQueryFrontend:
                     now_ms = self.clock() if self.clock is not None else 0.0
                 if entry.valid_until_ms is None or now_ms < entry.valid_until_ms:
                     self.hits += 1
+                    if not entry.result.paths:
+                        self.negative_hits += 1
                     self._cache.move_to_end(key)
                     return entry.result
                 # Expired in cache: never serve it (satellite bugfix) —
@@ -219,6 +234,14 @@ class PathQueryFrontend:
             if valid_until is None or expires < valid_until:
                 valid_until = expires
         members = tuple(paths)
+        if not members:
+            # An explicit negative entry: "no paths" is a first-class
+            # cached answer (counted separately), optionally TTL-bounded.
+            self.negative_inserts += 1
+            if self.negative_ttl_ms is not None:
+                ttl_until = now_ms + self.negative_ttl_ms
+                if valid_until is None or ttl_until < valid_until:
+                    valid_until = ttl_until
         # The entry stores a hit-labelled result so the (hot) hit path can
         # return it without allocating; only this cold path builds the
         # miss-labelled twin.
@@ -284,6 +307,8 @@ class PathQueryFrontend:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "expired_entries": self.expired_entries,
+            "negative_hits": self.negative_hits,
+            "negative_inserts": self.negative_inserts,
             "cache_size": len(self._cache),
             "hit_ratio": self.cache_hit_ratio,
         }

@@ -154,6 +154,10 @@ def bind_simulation(simulation, registry: Optional[MetricsRegistry] = None) -> M
           fn=_sum("invalidations"))
     gauge("query.cache_evictions_total", help="cached responses evicted by the LRU bound",
           fn=_sum("evictions"))
+    gauge("query.negative_hits_total", help="lookups served from cached empty responses",
+          fn=_sum("negative_hits"))
+    gauge("query.negative_inserts_total", help="empty responses cached as negative entries",
+          fn=_sum("negative_inserts"))
     gauge("query.cache_hit_ratio", help="hits over lookups across all frontends",
           fn=_hit_ratio)
 
@@ -183,6 +187,39 @@ def bind_query_frontend(
           fn=lambda: frontend.cache_hit_ratio)
     gauge(f"{name}.cache_size", help="materialized responses currently cached",
           fn=lambda: frontend.cache_size)
+    return registry
+
+
+def bind_parallel(coordinator, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Register a :class:`ShardedBeaconingSimulation`'s sync surfaces.
+
+    Coordinator-side only — per-shard metrics live in the worker
+    processes and arrive merged at gather time.  What the coordinator
+    can see live is the synchronization story: cross-shard traffic, time
+    spent blocked on worker replies, and per-worker utilization.
+    """
+    registry = registry if registry is not None else REGISTRY
+    gauge = registry.gauge
+
+    gauge("parallel.workers", help="shard worker processes",
+          fn=lambda: coordinator.workers)
+    gauge("parallel.lookahead_ms", help="conservative cross-shard lookahead (ms)",
+          fn=lambda: coordinator._lookahead_ms)
+    gauge("parallel.cross_shard_messages_total",
+          help="fabric messages exported across shard boundaries",
+          fn=lambda: coordinator.cross_shard_messages)
+    gauge("parallel.cross_shard_bytes_total",
+          help="serialized bytes shipped between shards",
+          fn=lambda: coordinator.cross_shard_bytes)
+    gauge("parallel.barrier_wait_s",
+          help="coordinator time spent blocked on worker replies",
+          fn=lambda: coordinator.barrier_wait_s)
+    gauge("parallel.worker_utilization", label="worker",
+          help="per-worker busy-time fraction since construction",
+          fn=lambda: {
+              str(index): value
+              for index, value in enumerate(coordinator.utilization())
+          })
     return registry
 
 

@@ -1,0 +1,35 @@
+"""Sharded parallel simulation over the message fabric.
+
+The package splits a :class:`~repro.simulation.beaconing.BeaconingSimulation`
+across ``multiprocessing`` workers:
+
+* :mod:`repro.parallel.pool` — shared process-pool lifecycle (one
+  lazily created, grow-on-demand executor per pool instead of a
+  spin-up per call), used by the crypto offload pool and the analysis
+  microbenchmarks alike.
+* :mod:`repro.parallel.partition` — seeded, degree-balanced
+  partitioning of the AS set into shards, with affinity constraints
+  that keep loss-degradable links inside one shard (the transport's
+  loss RNG must see its draws in one process).
+* :mod:`repro.parallel.shard` — the per-shard worker process: a
+  shard-restricted ``BeaconingSimulation`` driven by a command loop.
+* :mod:`repro.parallel.coordinator` — the conservative-lookahead
+  window/barrier protocol that keeps a sharded run bit-identical to
+  the single-process golden traces.
+
+See ``docs/parallel.md`` for the protocol and the determinism argument.
+"""
+
+from repro.parallel.coordinator import ShardedBeaconingSimulation, ShardedSimulationResult
+from repro.parallel.partition import Partition, partition_topology
+from repro.parallel.pool import WorkerPool, shared_pool, shutdown_shared_pool
+
+__all__ = [
+    "Partition",
+    "ShardedBeaconingSimulation",
+    "ShardedSimulationResult",
+    "WorkerPool",
+    "partition_topology",
+    "shared_pool",
+    "shutdown_shared_pool",
+]

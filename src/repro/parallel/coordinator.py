@@ -1,0 +1,530 @@
+"""Conservative-lookahead coordinator for sharded beaconing simulation.
+
+:class:`ShardedBeaconingSimulation` runs the exact experiment
+:class:`~repro.simulation.beaconing.BeaconingSimulation` runs, split
+across worker processes.  The topology is partitioned by
+:func:`repro.parallel.partition.partition_topology`; each worker forks
+with one partition and materializes only its shard's control services;
+the coordinator drives the same period structure the single-process
+driver uses (deliver → originate → deliver → RAC round → deliver →
+period-end bookkeeping) as a sequence of barriers and conservative
+advance windows.
+
+**Why the result is the same.** Per-AS inboxes are the fabric's only
+inter-AS seam.  A cross-shard send runs its sender side (metrics,
+send-time availability) on the sending shard, is exported with its
+precomputed delivery time, and replays its receiver side on the owning
+shard via the transport's ``inject_import`` — the identical
+:meth:`~repro.simulation.network.SimulatedTransport._deliver` callback a
+local send would schedule.  Between barriers, a shard may safely
+simulate up to ``t_next + lookahead`` (the global next event time plus
+the minimum cross-shard ``link latency + processing delay``): any export
+generated at ``u >= t_next`` arrives no earlier than ``u + lookahead``,
+i.e. outside the window, so no worker ever receives a message in its
+past.  Timeline events are global barriers: every worker advances to the
+event time, the event is broadcast (each shard applies the slice it
+owns), then the aggregated revocation flush runs — reproducing the
+single-process probe/dispatch/flush ordering.  The golden-digest tests
+pin all of this bit-for-bit against the single-process traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.control_service import RoundReport
+from repro.crypto.keys import KeyStore
+from repro.exceptions import ConfigurationError, SimulationError, UnknownASError
+from repro.obs import spans as _spans
+from repro.parallel.partition import (
+    Partition,
+    degradable_link_groups,
+    partition_topology,
+)
+from repro.parallel.shard import shard_worker_main
+from repro.simulation.collector import ConvergenceCollector, MetricsCollector
+from repro.simulation.events import (
+    BeaconPeriodChange,
+    LinkFailure,
+    LinkFlap,
+    LinkRecovery,
+    RACSwap,
+    TimedEvent,
+    TopologyGrowth,
+)
+from repro.simulation.failures import LinkState
+from repro.simulation.scenario import ScenarioConfig
+from repro.topology.graph import Topology
+
+
+@dataclass
+class ShardedSimulationResult:
+    """Aggregated outcome of a sharded run.
+
+    Mirrors :class:`~repro.simulation.beaconing.SimulationResult` where
+    aggregation is possible: the merged collector, the coordinator's
+    convergence records and the final link state are identical to a
+    single-process run's.  Control services live (and die) in the worker
+    processes, so instead of a ``services`` mapping the result carries
+    the per-AS revocation statistics the analyses read off services.
+    """
+
+    topology: Topology
+    collector: MetricsCollector
+    convergence: ConvergenceCollector
+    link_state: LinkState
+    round_reports: List[RoundReport] = field(default_factory=list)
+    periods_run: int = 0
+    final_time_ms: float = 0.0
+    service_count: int = 0
+    #: AS id → (revocations rejected as invalid, duplicate revocations).
+    revocation_stats: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def rejected_invalid_total(self) -> int:
+        """Return revocations rejected for bad signatures, all ASes."""
+        return sum(rejected for rejected, _dupes in self.revocation_stats.values())
+
+    @property
+    def duplicates_total(self) -> int:
+        """Return duplicate revocations dropped inside dedup windows."""
+        return sum(dupes for _rejected, dupes in self.revocation_stats.values())
+
+
+class ShardedBeaconingSimulation:
+    """Drives one scenario over ``workers`` forked shard processes."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scenario: ScenarioConfig,
+        workers: int = 2,
+        key_store: Optional[KeyStore] = None,
+        partition_seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        for spec in scenario.algorithms:
+            if spec.on_demand:
+                raise ConfigurationError(
+                    "on-demand RACs fetch algorithm payloads synchronously "
+                    "across ASes and cannot run sharded; use the "
+                    "single-process BeaconingSimulation"
+                )
+        for timed in scenario.timeline:
+            if isinstance(timed.event, RACSwap) and timed.event.spec.on_demand:
+                raise ConfigurationError(
+                    "a RACSwap to an on-demand RAC cannot run sharded"
+                )
+        scenario.timeline.validate(topology)
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ConfigurationError(
+                "sharded simulation requires the fork start method"
+            ) from exc
+
+        self.topology = topology
+        self.scenario = scenario
+        self.workers = workers
+        self.key_store = key_store if key_store is not None else KeyStore()
+        self.partition: Partition = partition_topology(
+            topology,
+            workers,
+            seed=partition_seed,
+            affinity_groups=degradable_link_groups(scenario.timeline),
+        )
+        self._owner: Dict[int, int] = dict(self.partition.owner)
+        self._owned: List[set] = [set(shard) for shard in self.partition.shards]
+        self._lookahead_ms = self.partition.lookahead_ms(
+            topology, scenario.processing_delay_ms
+        )
+        if self._lookahead_ms <= 0.0:
+            raise ConfigurationError(
+                "sharded simulation needs positive cross-shard lookahead; "
+                "a zero-latency, zero-processing-delay cross-shard link "
+                "leaves no safe window"
+            )
+
+        self.convergence = ConvergenceCollector()
+        self.watched_pairs: List[Tuple[int, int]] = []
+        self.round_reports: List[RoundReport] = []
+        self.period_listeners: List = []
+        self._periods_run = 0
+        self._interval_ms = scenario.propagation_interval_ms
+        self._next_period_start_ms = 0.0
+        self._overload_snapshot = (0, 0, 0)
+
+        # Event barriers: (time, seq, TimedEvent).  Timeline events take
+        # seqs 0..n-1 in insertion order — reproducing the scheduler's
+        # FIFO tie-break — and dynamically synthesized events (flap
+        # toggles) continue the sequence, exactly like mid-run
+        # schedule_at calls take later sequence numbers.
+        self._barriers: List[Tuple[float, int, TimedEvent]] = []
+        self._barrier_seq = 0
+        for timed in scenario.timeline.events:
+            self._push_barrier(timed)
+
+        #: Cross-shard traffic and synchronization telemetry.
+        self.cross_shard_messages = 0
+        self.cross_shard_bytes = 0
+        self.barrier_wait_s = 0.0
+        self.worker_busy_s: List[float] = [0.0] * workers
+        self._started_at = time.perf_counter()
+
+        self._next_times: List[Optional[float]] = [None] * workers
+        self._conns: List = []
+        self._procs: List = []
+        self._spawn_workers()
+
+    # ------------------------------------------------------------------
+    # worker lifecycle & messaging
+    # ------------------------------------------------------------------
+    def _spawn_workers(self) -> None:
+        with _spans.span("parallel.spawn"):
+            for index in range(self.workers):
+                parent_conn, child_conn = self._context.Pipe()
+                process = self._context.Process(
+                    target=shard_worker_main,
+                    args=(
+                        child_conn,
+                        self.topology,
+                        self.scenario,
+                        tuple(sorted(self._owned[index])),
+                        self.key_store.deployment_secret,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(process)
+            for index in range(self.workers):
+                self._recv(index)  # construction handshake
+
+    def close(self) -> None:
+        """Stop and join the worker processes (idempotent)."""
+        for index, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(pickle.dumps(("stop", None)))
+                conn.recv_bytes()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ShardedBeaconingSimulation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _send(self, index: int, command: str, payload) -> None:
+        self._conns[index].send_bytes(pickle.dumps((command, payload)))
+
+    def _recv(self, index: int):
+        started = time.perf_counter()
+        blob = self._conns[index].recv_bytes()
+        self.barrier_wait_s += time.perf_counter() - started
+        status, payload, exports, next_time = pickle.loads(blob)
+        if status == "error":
+            raise SimulationError(f"shard worker {index} failed:\n{payload}")
+        self._next_times[index] = next_time
+        return payload, exports
+
+    def _broadcast(self, command: str, payloads) -> List:
+        """Send one command to every worker in parallel; route exports.
+
+        ``payloads`` is either a single value (same payload everywhere)
+        or a per-worker list.  Returns the per-worker reply payloads.
+        """
+        per_worker = (
+            payloads
+            if isinstance(payloads, list) and len(payloads) == self.workers
+            else [payloads] * self.workers
+        )
+        for index in range(self.workers):
+            self._send(index, command, per_worker[index])
+        results = []
+        exports: List[tuple] = []
+        for index in range(self.workers):
+            payload, worker_exports = self._recv(index)
+            results.append(payload)
+            exports.extend(worker_exports)
+        if exports:
+            self._route_exports(exports)
+        return results
+
+    def _route_exports(self, exports: Sequence[tuple]) -> None:
+        """Deliver cross-shard exports to the shards owning the receivers."""
+        by_shard: Dict[int, List[tuple]] = {}
+        for export in exports:
+            by_shard.setdefault(self._owner[export[1]], []).append(export)
+        self.cross_shard_messages += len(exports)
+        for index in sorted(by_shard):
+            blob = pickle.dumps(("inject", by_shard[index]))
+            self.cross_shard_bytes += len(blob)
+            self._conns[index].send_bytes(blob)
+        for index in sorted(by_shard):
+            _payload, worker_exports = self._recv(index)
+            if worker_exports:  # pragma: no cover - injection cannot export
+                self._route_exports(worker_exports)
+
+    # ------------------------------------------------------------------
+    # the conservative advance loop
+    # ------------------------------------------------------------------
+    def _advance(self, target_ms: float, inclusive: bool = True) -> None:
+        """Advance every shard to ``target_ms`` in lookahead windows.
+
+        Repeatedly: find the global next event time across all shards; if
+        none lies before the boundary, align every clock at the target
+        and stop.  Otherwise run every shard through the window
+        ``[now, t_next + lookahead)`` (clamped at the target) and route
+        the exports the window produced — which by the lookahead argument
+        are all scheduled at or after the window's end, never in any
+        shard's past.
+        """
+        with _spans.span("parallel.advance"):
+            while True:
+                times = [t for t in self._next_times if t is not None]
+                t_next = min(times) if times else None
+                if t_next is None or (
+                    t_next > target_ms if inclusive else t_next >= target_ms
+                ):
+                    self._broadcast("run", (target_ms, inclusive))
+                    return
+                window_end = t_next + self._lookahead_ms
+                if inclusive and window_end > target_ms:
+                    horizon, window_inclusive = target_ms, True
+                elif not inclusive and window_end >= target_ms:
+                    horizon, window_inclusive = target_ms, False
+                else:
+                    horizon, window_inclusive = window_end, False
+                self._broadcast("run", (horizon, window_inclusive))
+
+    def _push_barrier(self, timed: TimedEvent) -> None:
+        heapq.heappush(self._barriers, (timed.time_ms, self._barrier_seq, timed))
+        self._barrier_seq += 1
+
+    def _run_to(self, target_ms: float, inclusive: bool = True) -> None:
+        """Advance to ``target_ms``, dispatching event barriers on the way."""
+        while self._barriers:
+            barrier_time = self._barriers[0][0]
+            if barrier_time > target_ms if inclusive else barrier_time >= target_ms:
+                break
+            self._advance(barrier_time, inclusive=False)
+            group: List[TimedEvent] = []
+            while self._barriers and self._barriers[0][0] == barrier_time:
+                group.append(heapq.heappop(self._barriers)[2])
+            self._dispatch_group(barrier_time, group)
+        self._advance(target_ms, inclusive)
+
+    def _dispatch_group(self, now_ms: float, group: List[TimedEvent]) -> None:
+        """Apply all barrier events sharing one timestamp, then flush.
+
+        Mirrors the single-process ordering exactly: per event — probe
+        the watched pairs, apply, probe again, record convergence; after
+        the tick's last event — one aggregated revocation flush.
+        """
+        with _spans.span("parallel.barrier"):
+            for timed in group:
+                event = timed.event
+                before, _times, _messages_before, _overload = self._probe()
+                own_target: Optional[int] = None
+                if isinstance(event, TopologyGrowth):
+                    own_target = min(
+                        range(self.workers),
+                        key=lambda index: (len(self._owned[index]), index),
+                    )
+                    self._owned[own_target].add(event.new_as)
+                    self._owner[event.new_as] = own_target
+                self._broadcast(
+                    "apply_event",
+                    [
+                        (timed, index == own_target)
+                        for index in range(self.workers)
+                    ],
+                )
+                if isinstance(event, BeaconPeriodChange):
+                    self._interval_ms = event.interval_ms
+                elif isinstance(event, LinkFlap):
+                    # The shards only install the loss rates; the toggles
+                    # become coordinator barriers, replaying the failure /
+                    # recovery machinery globally like the single-process
+                    # driver's self-scheduled toggles.
+                    for index, offset in enumerate(event.schedule):
+                        toggle = (
+                            LinkFailure(link_id=event.link_id)
+                            if index % 2 == 0
+                            else LinkRecovery(link_id=event.link_id)
+                        )
+                        self._push_barrier(
+                            TimedEvent(time_ms=now_ms + offset, event=toggle)
+                        )
+                elif isinstance(event, TopologyGrowth):
+                    for neighbor_as in event.attach_to:
+                        if self._owner[neighbor_as] != own_target:
+                            self._lookahead_ms = min(
+                                self._lookahead_ms,
+                                event.latency_ms + self.scenario.processing_delay_ms,
+                            )
+                after, _times, messages_after, _overload = self._probe()
+                self.convergence.on_event(
+                    event_label=event.trace_label(),
+                    now_ms=now_ms,
+                    pair_paths={pair: (before[pair], after[pair]) for pair in before},
+                    messages_total=messages_after,
+                )
+            self._broadcast("flush", now_ms)
+
+    def _probe(self):
+        """Probe watched pairs and counters across all shards.
+
+        Returns ``(counts, registered_at, messages_total, overload)``.
+        """
+        pairs_by_shard: List[List[Tuple[int, int]]] = [[] for _ in range(self.workers)]
+        for pair in self.watched_pairs:
+            pairs_by_shard[self._owner[pair[0]]].append(pair)
+        replies = self._broadcast("probe", pairs_by_shard)
+        counts: Dict[Tuple[int, int], int] = {}
+        registered_at: Dict[Tuple[int, int], Tuple[float, ...]] = {}
+        messages_total = 0
+        overload = [0, 0, 0]
+        for reply in replies:
+            for pair, (count, times) in reply["pairs"].items():
+                counts[pair] = count
+                registered_at[pair] = times
+            messages_total += reply["messages_total"]
+            for slot in range(3):
+                overload[slot] += reply["overload"][slot]
+        return counts, registered_at, messages_total, tuple(overload)
+
+    # ------------------------------------------------------------------
+    # public driving API (mirrors BeaconingSimulation)
+    # ------------------------------------------------------------------
+    def watch_pair(self, source_as: int, destination_as: int) -> None:
+        """Track convergence of ``source_as`` → ``destination_as``."""
+        for as_id in (source_as, destination_as):
+            if as_id not in self.topology:
+                raise UnknownASError(as_id)
+        pair = (source_as, destination_as)
+        if pair not in self.watched_pairs:
+            self.watched_pairs.append(pair)
+
+    def add_period_listener(self, listener) -> None:
+        """Register a ``(now_ms,)`` callback fired at every period end."""
+        self.period_listeners.append(listener)
+
+    @property
+    def periods_run(self) -> int:
+        """Return how many beaconing periods have completed so far."""
+        return self._periods_run
+
+    def run_period(self) -> None:
+        """Run one complete beaconing period across all shards."""
+        period_start_ms = self._next_period_start_ms
+        mid_period_ms = period_start_ms + self._interval_ms / 2.0
+        period_end_ms = period_start_ms + self._interval_ms
+
+        self._run_to(period_start_ms, inclusive=True)
+        with _spans.span("parallel.originate"):
+            self._broadcast("originate", period_start_ms)
+        self._run_to(mid_period_ms, inclusive=True)
+        with _spans.span("parallel.rac_round"):
+            report_lists = self._broadcast("rac_round", mid_period_ms)
+        self._run_to(period_end_ms, inclusive=True)
+
+        # Merge this period's round reports in global AS order — the
+        # order the single-process driver appends them in.
+        merged = sorted(
+            (report for reports in report_lists for report in reports),
+            key=lambda report: report.as_id,
+        )
+        self.round_reports.extend(merged)
+
+        counts, registered_at, messages_total, overload = self._probe()
+        if self.watched_pairs:
+            self.convergence.on_period_end(
+                now_ms=period_end_ms,
+                pair_paths=counts,
+                messages_total=messages_total,
+                pair_registered_at=registered_at,
+            )
+        if overload != self._overload_snapshot:
+            previous = self._overload_snapshot
+            self._overload_snapshot = overload
+            self.convergence.on_overload(
+                period_end_ms,
+                dropped=overload[0] - previous[0],
+                marked=overload[1] - previous[1],
+                deferred=overload[2] - previous[2],
+            )
+
+        self._periods_run += 1
+        self._next_period_start_ms = period_end_ms
+        for listener in self.period_listeners:
+            listener(period_end_ms)
+
+    def run(self, periods: Optional[int] = None) -> ShardedSimulationResult:
+        """Run the scenario; gather, stop the workers, return the result."""
+        total = periods if periods is not None else self.scenario.periods
+        for _ in range(total):
+            self.run_period()
+        # Final in-flight flush: deliveries only; barrier events landing
+        # in this window stay queued (deferred), like the single-process
+        # horizon suppression.
+        final_ms = self._next_period_start_ms + 1.0
+        self._advance(final_ms, inclusive=True)
+
+        with _spans.span("parallel.gather"):
+            snapshots = self._broadcast("gather", None)
+        collector = MetricsCollector(period_ms=self.scenario.propagation_interval_ms)
+        revocation_stats: Dict[int, Tuple[int, int]] = {}
+        service_count = 0
+        for index, snapshot in enumerate(snapshots):
+            collector.merge(snapshot["collector"])
+            revocation_stats.update(snapshot["revocation_stats"])
+            service_count += snapshot["service_count"]
+            self.worker_busy_s[index] = snapshot["busy_s"]
+        link_state = snapshots[0]["link_state"]
+        self.close()
+        return ShardedSimulationResult(
+            topology=self.topology,
+            collector=collector,
+            convergence=self.convergence,
+            link_state=link_state,
+            round_reports=list(self.round_reports),
+            periods_run=self._periods_run,
+            final_time_ms=final_ms,
+            service_count=service_count,
+            revocation_stats=dict(sorted(revocation_stats.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def utilization(self) -> List[float]:
+        """Return per-worker busy-time fractions since construction."""
+        elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+        return [busy / elapsed for busy in self.worker_busy_s]
+
+    def counters(self) -> Dict[str, float]:
+        """Return the coordinator's synchronization counters."""
+        return {
+            "workers": float(self.workers),
+            "lookahead_ms": self._lookahead_ms,
+            "cross_shard_messages": float(self.cross_shard_messages),
+            "cross_shard_bytes": float(self.cross_shard_bytes),
+            "barrier_wait_s": self.barrier_wait_s,
+        }

@@ -1,0 +1,176 @@
+"""The shard worker: one process driving one partition's control services.
+
+Forked by the coordinator (:mod:`repro.parallel.coordinator`), the worker
+builds a :class:`~repro.simulation.beaconing.BeaconingSimulation` in shard
+mode — services only for its owned ASes, every cross-shard fabric send
+diverted to an export buffer — and then executes coordinator commands off
+a pipe until told to stop.
+
+The command loop is strictly synchronous: one request, one reply.  Every
+reply carries (a) the command's payload, (b) the cross-shard exports the
+command produced, and (c) the shard's next pending event time, so the
+coordinator's conservative-lookahead advance never needs a separate poll
+round trip.
+
+Workers are started with the ``fork`` method on purpose: scenario objects
+carry callables (algorithm factories, policies) that cannot be pickled,
+but a forked child inherits them.  All post-fork state — the simulation,
+its services, the RNGs — is built inside the child, so nothing of the
+parent's mutable simulation state is shared.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.control_service import RoundReport
+from repro.crypto.keys import KeyStore
+from repro.simulation.beaconing import BeaconingSimulation, ShardContext
+from repro.simulation.events import TopologyGrowth
+
+#: Protocol version guard: bumped if the command tuple shapes change.
+PROTOCOL_VERSION = 1
+
+
+class _ShardRuntime:
+    """Per-worker state: the shard simulation plus the export buffer."""
+
+    def __init__(
+        self,
+        topology,
+        scenario,
+        owned_ases,
+        deployment_secret: bytes,
+    ) -> None:
+        self.exports: List[tuple] = []
+        self.shard = ShardContext(
+            owned_ases=set(owned_ases), exporter=self.exports.append
+        )
+        self.sim = BeaconingSimulation(
+            topology,
+            scenario,
+            key_store=KeyStore(deployment_secret=deployment_secret),
+            shard=self.shard,
+        )
+        self.busy_s = 0.0
+
+    def drain_exports(self) -> List[tuple]:
+        exports, self.exports[:] = list(self.exports), []
+        return exports
+
+    # ------------------------------------------------------------------
+    # command handlers; each returns the reply payload
+    # ------------------------------------------------------------------
+    def handle(self, command: str, payload):
+        sim = self.sim
+        if command == "run":
+            horizon, inclusive = payload
+            sim.scheduler.run_window(horizon, inclusive=inclusive)
+            return None
+        if command == "inject":
+            for item in payload:
+                sim.transport.inject_import(*item)
+            return None
+        if command == "originate":
+            now_ms = payload
+            for service in sim._services_in_order():
+                if sim.link_state.is_as_up(service.as_id):
+                    service.originate(now_ms=now_ms)
+            return None
+        if command == "rac_round":
+            now_ms = payload
+            reports = []
+            for service in sim._services_in_order():
+                if not sim.link_state.is_as_up(service.as_id):
+                    continue
+                report = service.run_round(now_ms=now_ms)
+                if isinstance(report, RoundReport):
+                    reports.append(report)
+            return reports
+        if command == "apply_event":
+            timed, own_new_as = payload
+            if own_new_as and isinstance(timed.event, TopologyGrowth):
+                self.shard.owned_ases.add(timed.event.new_as)
+            sim._dispatch_event(timed.event, timed.time_ms)
+            return None
+        if command == "flush":
+            if sim._pending_failed_links or sim._pending_failed_ases:
+                sim._flush_revocations(payload)
+            return None
+        if command == "probe":
+            pairs = payload
+            results: Dict[Tuple[int, int], Tuple[int, Tuple[float, ...]]] = {}
+            for source_as, destination_as in pairs:
+                results[(source_as, destination_as)] = (
+                    sim.usable_path_count(source_as, destination_as),
+                    sim._usable_registration_times(source_as, destination_as),
+                )
+            return {
+                "pairs": results,
+                "messages_total": sim.collector.control_messages_total(),
+                "overload": (
+                    sim.collector.inbox_dropped_total(),
+                    sim.collector.inbox_marked_total(),
+                    sim.collector.inbox_deferred_total(),
+                ),
+            }
+        if command == "gather":
+            revocation_stats = {
+                as_id: (
+                    service.revocations.rejected_invalid,
+                    service.revocations.duplicates,
+                )
+                for as_id, service in sorted(sim.services.items())
+            }
+            return {
+                "collector": sim.collector,
+                "link_state": sim.link_state,
+                "revocation_stats": revocation_stats,
+                "service_count": len(sim.services),
+                "busy_s": self.busy_s,
+                "processed_events": sim.scheduler.processed_events,
+            }
+        raise ValueError(f"unknown shard command {command!r}")
+
+
+def shard_worker_main(
+    conn,
+    topology,
+    scenario,
+    owned_ases,
+    deployment_secret: bytes,
+) -> None:
+    """Run the worker command loop until a ``stop`` command (or EOF)."""
+    runtime: Optional[_ShardRuntime] = None
+    try:
+        runtime = _ShardRuntime(topology, scenario, owned_ases, deployment_secret)
+        conn.send_bytes(pickle.dumps(("ok", PROTOCOL_VERSION, [], None)))
+    except Exception:  # noqa: BLE001 - report construction failure to parent
+        conn.send_bytes(pickle.dumps(("error", traceback.format_exc(), [], None)))
+        return
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except EOFError:
+            return
+        command, payload = pickle.loads(blob)
+        if command == "stop":
+            conn.send_bytes(pickle.dumps(("ok", None, [], None)))
+            return
+        started = time.perf_counter()
+        try:
+            result = runtime.handle(command, payload)
+            runtime.busy_s += time.perf_counter() - started
+            reply = (
+                "ok",
+                result,
+                runtime.drain_exports(),
+                runtime.sim.scheduler.next_event_time(),
+            )
+        except Exception:  # noqa: BLE001 - ship the traceback to the parent
+            runtime.busy_s += time.perf_counter() - started
+            reply = ("error", traceback.format_exc(), [], None)
+        conn.send_bytes(pickle.dumps(reply))

@@ -52,7 +52,8 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.beacon import Beacon
 from repro.core.messages import ControlMessage, PCBMessage, PullReturnMessage
@@ -92,14 +93,33 @@ class InboxProfile:
             (ECN-style) and counts the mark.
         service_interval_ms: Gap between service rounds while a backlog
             exists — the time one unit of queueing delay costs.
+        kind_costs: Optional per-message-kind budget costs.  ``None``
+            (the default) charges every message one unit of
+            ``budget_per_tick`` — the PR 6 behaviour, bit-identical.
+            With a table (e.g. ``{"revocation": 4, "path_query": 2}``),
+            servicing a message of that kind consumes that many budget
+            units, so a round fits fewer expensive messages; kinds
+            absent from the table cost 1.  A service round always
+            services at least one message even if its cost exceeds the
+            whole budget (progress guarantee).
     """
 
     budget_per_tick: Optional[int] = None
     capacity: Optional[int] = None
     overflow_policy: str = "drop"
     service_interval_ms: float = 1.0
+    kind_costs: Optional[Mapping[str, int]] = None
 
     def __post_init__(self) -> None:
+        if self.kind_costs is not None:
+            for kind, cost in self.kind_costs.items():
+                if not isinstance(cost, int) or cost < 1:
+                    raise ConfigurationError(
+                        f"kind_costs[{kind!r}] must be an integer >= 1, got {cost!r}"
+                    )
+            # Freeze a private copy so later caller-side mutation cannot
+            # desynchronize inboxes that already adopted this profile.
+            object.__setattr__(self, "kind_costs", dict(self.kind_costs))
         if self.budget_per_tick is not None and self.budget_per_tick < 1:
             raise ConfigurationError(
                 f"budget_per_tick must be None or >= 1, got {self.budget_per_tick}"
@@ -142,6 +162,7 @@ class _Inbox:
         "capacity",
         "mark_overflow",
         "service_interval_ms",
+        "kind_costs",
         "arrivals",
         "deferred",
     )
@@ -163,6 +184,8 @@ class _Inbox:
         self.mark_overflow = False
         #: Gap between service rounds while a backlog exists.
         self.service_interval_ms = 1.0
+        #: Per-kind budget costs (``None``: every message costs 1).
+        self.kind_costs: Optional[Mapping[str, int]] = None
         #: Arrival times parallel to :attr:`entries` (finite budget only).
         self.arrivals: List[float] = []
         #: (message, interface, arrival_ms) carried over from earlier
@@ -175,6 +198,7 @@ class _Inbox:
         self.capacity = profile.capacity
         self.mark_overflow = profile.overflow_policy == "mark"
         self.service_interval_ms = profile.service_interval_ms
+        self.kind_costs = profile.kind_costs
         self.limited = profile.limited
 
     def queued(self) -> int:
@@ -207,6 +231,14 @@ class SimulatedTransport:
         inbox_profile: Default :class:`InboxProfile` applied to every
             registered AS's inbox.  ``None`` keeps the unlimited default.
         inbox_profiles: Per-AS profile overrides (AS id → profile).
+        exporter: Shard hook.  ``None`` (the default) keeps the
+            single-process fabric: every AS must be registered locally
+            and sends fail fast on unknown receivers.  In a shard
+            worker, sends whose receiving AS is not registered here are
+            handed to this callback as ``(delivery_time_ms, remote_as,
+            remote_interface, link_key, message)`` after the sender-side
+            metrics and availability checks ran; the owning shard
+            replays the receiver side via :meth:`inject_import`.
     """
 
     topology: Topology
@@ -219,6 +251,7 @@ class SimulatedTransport:
     inbox_profile: Optional[InboxProfile] = None
     inbox_profiles: Dict[int, InboxProfile] = field(default_factory=dict)
     loss_seed: int = 0
+    exporter: Optional[Callable[[tuple], None]] = None
     services: Dict[int, object] = field(default_factory=dict)
     _inboxes: Dict[int, _Inbox] = field(default_factory=dict)
     _sequence: "itertools.count" = field(default_factory=lambda: itertools.count(1))
@@ -309,6 +342,7 @@ class SimulatedTransport:
                 capacity=inbox.capacity,
                 overflow_policy="mark" if inbox.mark_overflow else "drop",
                 service_interval_ms=inbox.service_interval_ms,
+                kind_costs=inbox.kind_costs,
             ),
         )
 
@@ -329,13 +363,19 @@ class SimulatedTransport:
         if route is None:
             link = self.topology.link_of_interface(endpoint)
             remote_as, remote_interface = link.other_end(endpoint)
-            self.service_of(remote_as)  # fail fast on unknown receivers
+            if remote_as in self._inboxes or self.exporter is None:
+                self.service_of(remote_as)  # fail fast on unknown receivers
+                inbox = self._inboxes[remote_as]
+            else:
+                # Cross-shard receiver: delivery (and its checks) happen in
+                # the owning worker; a ``None`` inbox marks the export path.
+                inbox = None
             route = (
                 link.key,
                 link.latency_ms,
                 remote_as,
                 remote_interface,
-                self._inboxes[remote_as],
+                inbox,
             )
             self._routes[endpoint] = route
         return route
@@ -397,70 +437,129 @@ class SimulatedTransport:
             self._record_drop(message, now_ms)
             return
 
-        def deliver(
-            now_ms: float,
-            _message=message,
-            _remote_as=remote_as,
-            _interface=remote_interface,
-            _link_key=link_key,
-            _inbox=inbox,
-            _track=message.needs_hop_tracking(),
-        ):
-            if self.link_state is not None and self.link_state.impaired():
-                if not self.link_state.link_key_available(_link_key):
-                    self._record_drop(_message, now_ms)
-                    return
-                if isinstance(_message, PCBMessage) and not self.link_state.path_available(
-                    _message.beacon.links()
-                ):
-                    self._record_drop(_message, now_ms)
-                    return
-            if self.link_state is not None and self.link_state.degraded():
-                # Silent degradation (gray failure / flap loss): the drop
-                # is invisible to availability checks — no revocation, no
-                # loud drop counter — only the gray-drop metric records it.
-                rate = self.link_state.drop_probability(_link_key, _remote_as)
-                if rate > 0.0 and (rate >= 1.0 or self._loss_rng.random() < rate):
-                    self.collector.record_gray_drop(_message.kind, now_ms)
-                    return
-            if _track:
-                _message = _message.with_hop(_remote_as)
-            if _inbox.limited:
-                # Queue model: bounded capacity (tail-drop or ECN mark at
-                # delivery) and queue-depth high-water tracking.  The
-                # unlimited default never enters this branch, keeping the
-                # PR-5 fast path at one flag check per delivery.
-                depth = len(_inbox.entries) + len(_inbox.deferred)
-                if _inbox.capacity is not None and depth >= _inbox.capacity:
-                    if _inbox.mark_overflow:
-                        self.collector.record_inbox_mark(
-                            _remote_as, _message.kind, now_ms
-                        )
-                        _message = _message.with_congestion_mark()
-                    else:
-                        self.collector.record_inbox_drop(
-                            _remote_as, _message.kind, now_ms
-                        )
-                        return
-                self.collector.record_queue_depth(_remote_as, depth + 1)
-                if _inbox.budget is not None:
-                    _inbox.arrivals.append(now_ms)
-            _inbox.entries.append((_message, _interface))
-            if self.deliver_immediately:
-                # Synchronous mode: drain right away unless a drain higher
-                # up the call stack is already consuming this inbox.
-                if not _inbox.draining:
-                    self._drain(_remote_as, now_ms)
-            elif not _inbox.drain_scheduled:
-                _inbox.drain_scheduled = True
-                self.scheduler.schedule_at(now_ms, self._drain_callbacks[_remote_as])
+        if inbox is None:
+            # Cross-shard send: the sender side (metrics, send-time
+            # availability) ran above; serialize the receiver side out to
+            # the shard that owns the remote AS.
+            self.exporter(
+                (
+                    now_ms + latency_ms + self.processing_delay_ms,
+                    remote_as,
+                    remote_interface,
+                    link_key,
+                    message,
+                )
+            )
+            return
 
+        deliver = partial(
+            self._deliver,
+            message,
+            remote_as,
+            remote_interface,
+            link_key,
+            inbox,
+            message.needs_hop_tracking(),
+        )
         if self.deliver_immediately:
             deliver(now_ms + latency_ms + self.processing_delay_ms)
         else:
             self.scheduler.schedule_in(
                 latency_ms + self.processing_delay_ms, deliver
             )
+
+    def _deliver(
+        self,
+        message: ControlMessage,
+        remote_as: int,
+        interface: int,
+        link_key: tuple,
+        inbox: _Inbox,
+        track: bool,
+        now_ms: float,
+    ) -> None:
+        """Receiver side of one delivery (the scheduled fabric callback).
+
+        Shared verbatim between local sends (scheduled by
+        :meth:`_send_message`) and cross-shard imports (scheduled by
+        :meth:`inject_import`), so a message crossing a shard boundary
+        passes exactly the checks it would have passed in one process.
+        """
+        if self.link_state is not None and self.link_state.impaired():
+            if not self.link_state.link_key_available(link_key):
+                self._record_drop(message, now_ms)
+                return
+            if isinstance(message, PCBMessage) and not self.link_state.path_available(
+                message.beacon.links()
+            ):
+                self._record_drop(message, now_ms)
+                return
+        if self.link_state is not None and self.link_state.degraded():
+            # Silent degradation (gray failure / flap loss): the drop
+            # is invisible to availability checks — no revocation, no
+            # loud drop counter — only the gray-drop metric records it.
+            rate = self.link_state.drop_probability(link_key, remote_as)
+            if rate > 0.0 and (rate >= 1.0 or self._loss_rng.random() < rate):
+                self.collector.record_gray_drop(message.kind, now_ms)
+                return
+        if track:
+            message = message.with_hop(remote_as)
+        if inbox.limited:
+            # Queue model: bounded capacity (tail-drop or ECN mark at
+            # delivery) and queue-depth high-water tracking.  The
+            # unlimited default never enters this branch, keeping the
+            # PR-5 fast path at one flag check per delivery.
+            depth = len(inbox.entries) + len(inbox.deferred)
+            if inbox.capacity is not None and depth >= inbox.capacity:
+                if inbox.mark_overflow:
+                    self.collector.record_inbox_mark(remote_as, message.kind, now_ms)
+                    message = message.with_congestion_mark()
+                else:
+                    self.collector.record_inbox_drop(remote_as, message.kind, now_ms)
+                    return
+            self.collector.record_queue_depth(remote_as, depth + 1)
+            if inbox.budget is not None:
+                inbox.arrivals.append(now_ms)
+        inbox.entries.append((message, interface))
+        if self.deliver_immediately:
+            # Synchronous mode: drain right away unless a drain higher
+            # up the call stack is already consuming this inbox.
+            if not inbox.draining:
+                self._drain(remote_as, now_ms)
+        elif not inbox.drain_scheduled:
+            inbox.drain_scheduled = True
+            self.scheduler.schedule_at(now_ms, self._drain_callbacks[remote_as])
+
+    def inject_import(
+        self,
+        delivery_ms: float,
+        remote_as: int,
+        remote_interface: int,
+        link_key: tuple,
+        message: ControlMessage,
+    ) -> None:
+        """Schedule a cross-shard import for local receiver-side delivery.
+
+        The sending shard already recorded the transmission and passed
+        the send-time availability check; this schedules the same
+        :meth:`_deliver` callback a local send would have, at the
+        precomputed delivery time.
+        """
+        inbox = self._inboxes.get(remote_as)
+        if inbox is None:
+            raise UnknownASError(remote_as)
+        self.scheduler.schedule_at(
+            delivery_ms,
+            partial(
+                self._deliver,
+                message,
+                remote_as,
+                remote_interface,
+                link_key,
+                inbox,
+                message.needs_hop_tracking(),
+            ),
+        )
 
     def _drain(self, as_id: int, now_ms: float) -> None:
         """Hand the inbox's pending messages to the control service.
@@ -538,7 +637,33 @@ class SimulatedTransport:
         if not pending:
             return
         budget = inbox.budget
-        if budget is not None and len(pending) > budget:
+        kind_costs = inbox.kind_costs
+        if kind_costs is not None and budget is not None:
+            # Weighted service round: each message consumes its kind's
+            # cost from the budget (absent kinds cost 1, so the all-ones
+            # table reduces provably to ``pending[:budget]`` below).
+            total_cost = sum(kind_costs.get(item[0].kind, 1) for item in pending)
+            if total_cost > budget:
+                urgent = [item for item in pending if item[0].kind == "revocation"]
+                if urgent and len(urgent) != len(pending):
+                    bulk = [item for item in pending if item[0].kind != "revocation"]
+                    pending = urgent + bulk
+                batch3 = []
+                spent = 0
+                for item in pending:
+                    cost = kind_costs.get(item[0].kind, 1)
+                    # Progress guarantee: the round always services at
+                    # least one message, even one costing more than the
+                    # whole budget — a stuck inbox would never drain.
+                    if batch3 and spent + cost > budget:
+                        break
+                    batch3.append(item)
+                    spent += cost
+                inbox.deferred = pending[len(batch3) :]
+            else:
+                batch3 = pending
+                inbox.deferred = []
+        elif budget is not None and len(pending) > budget:
             urgent = [item for item in pending if item[0].kind == "revocation"]
             if urgent and len(urgent) != len(pending):
                 bulk = [item for item in pending if item[0].kind != "revocation"]

@@ -528,3 +528,151 @@ class TestValidation:
         scenario.inbox_profiles = {99: InboxProfile(budget_per_tick=1)}
         with pytest.raises(ConfigurationError, match="unknown AS"):
             BeaconingSimulation(topology, scenario)
+
+
+# ----------------------------------------------------------------------
+# PR 10 satellite: per-kind budget-cost weights
+# ----------------------------------------------------------------------
+class TestKindCosts:
+    """``InboxProfile.kind_costs`` weights the service budget per kind."""
+
+    def test_all_one_costs_bit_identical_to_unweighted(self):
+        """An explicit all-1 table is the exact unweighted budget path."""
+        unweighted = InboxProfile(budget_per_tick=2, service_interval_ms=5.0)
+        weighted = InboxProfile(
+            budget_per_tick=2,
+            service_interval_ms=5.0,
+            kind_costs={"revocation": 1, "pcb": 1, "path_registration": 1},
+        )
+        assert _run_dynamic(unweighted, 1, 20, True) == _run_dynamic(
+            weighted, 1, 20, True
+        )
+
+    def test_default_none_costs_keep_golden_digest(self):
+        assert _golden_digest(InboxProfile(kind_costs=None)) == GOLDEN_DIGEST
+
+    def test_expensive_kind_fits_fewer_per_round(self, key_store):
+        """Cost-5 revocations against budget 5: one serviced per round,
+        where the unweighted budget would take all three at once."""
+        topology = line_topology(3)
+        scheduler, transport, services = build_simulated_services(
+            topology,
+            key_store,
+            inbox_profiles={
+                2: InboxProfile(
+                    budget_per_tick=5,
+                    service_interval_ms=5.0,
+                    kind_costs={"revocation": 5},
+                )
+            },
+        )
+        for sequence in (1, 2, 3):
+            transport.send_message(1, 2, _revocation(topology, sequence))
+        scheduler.run_until(100.0)
+        assert services[2].revocations.applied_at == {
+            (1, 1): 11.0, (1, 2): 16.0, (1, 3): 21.0
+        }
+        assert transport.collector.inbox_deferred["revocation"] == 2
+
+    def test_progress_guarantee_when_cost_exceeds_budget(self, key_store):
+        """A message dearer than the whole budget still gets serviced —
+        one per round — instead of deadlocking the queue."""
+        topology = line_topology(3)
+        scheduler, transport, services = build_simulated_services(
+            topology,
+            key_store,
+            inbox_profiles={
+                2: InboxProfile(
+                    budget_per_tick=2,
+                    service_interval_ms=5.0,
+                    kind_costs={"revocation": 10},
+                )
+            },
+        )
+        for sequence in (1, 2):
+            transport.send_message(1, 2, _revocation(topology, sequence))
+        scheduler.run_until(100.0)
+        assert services[2].revocations.applied_at == {(1, 1): 11.0, (1, 2): 16.0}
+
+    def test_priority_order_survives_weighting(self, key_store):
+        """Revocations still preempt queued PCBs under weighted costs; an
+        expensive PCB defers to the next round."""
+        topology = line_topology(3)
+        scheduler, transport, services = build_simulated_services(
+            topology,
+            key_store,
+            inbox_profiles={
+                2: InboxProfile(
+                    budget_per_tick=2,
+                    service_interval_ms=5.0,
+                    kind_costs={"pcb": 2},
+                )
+            },
+        )
+        beacon = make_beacon(key_store, [(1, None, 2)])
+        transport.send_beacon(1, 2, beacon)  # arrives first ...
+        transport.send_message(1, 2, _revocation(topology, 1))  # ... same tick
+        scheduler.run_until(11.0)
+        # Revocation (cost 1) serviced at arrival; the cost-2 PCB would
+        # overflow the round's remaining budget and waits.
+        assert services[2].revocations.applied_at == {(1, 1): 11.0}
+        assert len(services[2].ingress.database) == 0
+        scheduler.run_until(16.0)
+        assert len(services[2].ingress.database) == 1
+        assert transport.collector.inbox_deferred["pcb"] == 1
+
+    def test_unknown_kinds_cost_one_unit(self, key_store):
+        """Kinds absent from the table keep the implicit cost of 1."""
+        topology = line_topology(3)
+        scheduler, transport, services = build_simulated_services(
+            topology,
+            key_store,
+            inbox_profiles={
+                2: InboxProfile(
+                    budget_per_tick=3,
+                    service_interval_ms=5.0,
+                    kind_costs={"path_query": 3},
+                )
+            },
+        )
+        for sequence in (1, 2, 3):
+            transport.send_message(1, 2, _revocation(topology, sequence))
+        scheduler.run_until(11.0)
+        # Revocations are not in the table: three cost-1 messages fit the
+        # budget-3 round exactly.
+        assert len(services[2].revocations.applied_at) == 3
+
+    def test_profile_rejects_bad_costs(self):
+        with pytest.raises(ConfigurationError):
+            InboxProfile(kind_costs={"revocation": 0})
+        with pytest.raises(ConfigurationError):
+            InboxProfile(kind_costs={"revocation": -3})
+        with pytest.raises(ConfigurationError):
+            InboxProfile(kind_costs={"revocation": 1.5})
+
+    def test_profile_freezes_cost_table(self):
+        costs = {"revocation": 2}
+        profile = InboxProfile(budget_per_tick=2, kind_costs=costs)
+        costs["revocation"] = 99
+        assert profile.kind_costs["revocation"] == 2
+
+    def test_hot_swap_budget_preserves_cost_table(self, key_store):
+        """``set_inbox_budget`` keeps the kind-cost table of the profile."""
+        topology = line_topology(3)
+        scheduler, transport, services = build_simulated_services(
+            topology,
+            key_store,
+            inbox_profiles={
+                2: InboxProfile(
+                    budget_per_tick=5,
+                    service_interval_ms=5.0,
+                    kind_costs={"revocation": 5},
+                )
+            },
+        )
+        transport.set_inbox_budget(2, 5)
+        for sequence in (1, 2):
+            transport.send_message(1, 2, _revocation(topology, sequence))
+        scheduler.run_until(100.0)
+        # Still one cost-5 revocation per round after the budget swap.
+        assert services[2].revocations.applied_at == {(1, 1): 11.0, (1, 2): 16.0}

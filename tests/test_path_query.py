@@ -651,3 +651,78 @@ class TestRevocationStormCoherence:
                     for path in frontend.paths(origin, now_ms=final):
                         assert not (failed_links & set(path.segment.link_set()))
         assert storm_applied > 0
+
+
+# ---------------------------------------------------------------------------
+# Negative caching (PR 10 satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestNegativeCache:
+    """Empty responses are first-class cache entries with their own counters."""
+
+    def test_empty_response_is_cached_and_counted(self, key_store):
+        service = PathService()
+        frontend = PathQueryFrontend(service)
+        first = frontend.query(PathQuery(origin_as=9))
+        assert not first.cache_hit and first.paths == ()
+        assert frontend.negative_inserts == 1
+        assert frontend.negative_hits == 0
+        second = frontend.query(PathQuery(origin_as=9))
+        assert second.cache_hit and second.paths == ()
+        assert frontend.negative_hits == 1
+        # A non-empty materialization is not a negative insert.
+        service.register(_registered(key_store, origin=1))
+        frontend.query(PathQuery(origin_as=1))
+        assert frontend.negative_inserts == 1
+
+    def test_default_negative_entry_lives_until_invalidation(self, key_store):
+        """Without a TTL the behavior is bit-identical to pre-PR-10 caching:
+        the empty answer persists indefinitely and only the invalidation
+        listener (a registration for the origin) drops it."""
+        service = PathService()
+        frontend = PathQueryFrontend(service)
+        frontend.query(PathQuery(origin_as=1))
+        # Far-future lookups still hit the cached empty entry.
+        assert frontend.query(PathQuery(origin_as=1), now_ms=minutes(10_000)).cache_hit
+        assert frontend.expired_entries == 0
+        service.register(_registered(key_store, origin=1))
+        assert frontend.invalidations == 1
+        refreshed = frontend.query(PathQuery(origin_as=1))
+        assert not refreshed.cache_hit and len(refreshed.paths) == 1
+
+    def test_ttl_bounds_negative_entry(self):
+        service = PathService()
+        frontend = PathQueryFrontend(service, negative_ttl_ms=100.0)
+        frontend.query(PathQuery(origin_as=1), now_ms=0.0)
+        assert frontend.query(PathQuery(origin_as=1), now_ms=99.0).cache_hit
+        stale = frontend.query(PathQuery(origin_as=1), now_ms=100.0)
+        assert not stale.cache_hit
+        assert frontend.expired_entries == 1
+        assert frontend.negative_inserts == 2  # re-materialized empty
+
+    def test_ttl_does_not_touch_positive_entries(self, key_store):
+        service = PathService()
+        service.register(_registered(key_store, origin=1))
+        frontend = PathQueryFrontend(service, negative_ttl_ms=50.0)
+        first = frontend.query(PathQuery(origin_as=1), now_ms=0.0)
+        assert len(first.paths) == 1
+        # Way past the negative TTL but inside segment validity: still a hit.
+        assert frontend.query(PathQuery(origin_as=1), now_ms=1_000.0).cache_hit
+        assert frontend.negative_inserts == 0
+
+    def test_counters_expose_negative_keys(self):
+        frontend = PathQueryFrontend(PathService())
+        counters = frontend.counters()
+        assert counters["negative_hits"] == 0
+        assert counters["negative_inserts"] == 0
+        frontend.paths(7)
+        frontend.paths(7)
+        counters = frontend.counters()
+        assert counters["negative_inserts"] == 1
+        assert counters["negative_hits"] == 1
+
+    def test_invalid_negative_ttl_rejected(self):
+        for bad in (0, -5.0):
+            with pytest.raises(ConfigurationError):
+                PathQueryFrontend(PathService(), negative_ttl_ms=bad)
